@@ -1,0 +1,116 @@
+//! Criterion benchmarks of the substrate primitives: the nearest-
+//! distance query (L1's inner loop), the Aho–Corasick scan (L3's inner
+//! loop), session reconstruction, and the order-statistics CI.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use logdep_logstore::{Millis, Timeline};
+use logdep_sessions::{reconstruct, SessionConfig};
+use logdep_sim::textgen::standard_stop_patterns;
+use logdep_sim::{simulate, SimConfig};
+use logdep_stats::order_stats::median_ci_sorted;
+use logdep_textmatch::{MatcherBuilder, StopPatterns};
+
+fn bench_distance(c: &mut Criterion) {
+    let mut group = c.benchmark_group("timeline_dist_to_nearest");
+    for &n in &[1_000usize, 100_000, 1_000_000] {
+        let tl: Timeline = (0..n as i64).map(|i| Millis(i * 37)).collect();
+        let probes: Vec<Millis> = (0..1_000i64).map(|i| Millis(i * 4_111 + 13)).collect();
+        group.throughput(Throughput::Elements(probes.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &tl, |b, tl| {
+            b.iter(|| {
+                let mut acc = 0i64;
+                for &p in &probes {
+                    acc += tl.dist_to_nearest(p).unwrap_or(0);
+                }
+                acc
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_matcher(c: &mut Criterion) {
+    let mut group = c.benchmark_group("aho_corasick_scan");
+    // A realistic directory-sized pattern set over typical log lines.
+    let ids: Vec<String> = (0..47).map(|i| format!("DPISERVICE{i:02}")).collect();
+    let mut builder = MatcherBuilder::new();
+    builder.add_all(ids.iter().map(String::as_str));
+    let matcher = builder.build();
+    let lines: Vec<String> = (0..1_000)
+        .map(|i| {
+            format!(
+                "Invoke externalService [fct [notify] server \
+                 [srv{:02}.hcuge.ch:9999/dpiservice{:02}]] seq={i}",
+                i % 20,
+                i % 47
+            )
+        })
+        .collect();
+    group.throughput(Throughput::Elements(lines.len() as u64));
+    group.bench_function("1k_lines_47_patterns", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for line in &lines {
+                hits += matcher.matched_ids(line).len();
+            }
+            hits
+        });
+    });
+    group.finish();
+}
+
+fn bench_stop_patterns(c: &mut Criterion) {
+    let stops = StopPatterns::new(standard_stop_patterns());
+    let lines: Vec<String> = (0..1_000)
+        .map(|i| {
+            if i % 3 == 0 {
+                format!("Serving request [fct [q] group [SVC{i}]] for App{i}")
+            } else {
+                format!("call returned [fct [notify]] rc=0 in {i} ms")
+            }
+        })
+        .collect();
+    let mut group = c.benchmark_group("stop_patterns");
+    group.throughput(Throughput::Elements(lines.len() as u64));
+    group.bench_function("1k_lines_10_globs", |b| {
+        b.iter(|| lines.iter().filter(|l| stops.matches(l)).count());
+    });
+    group.finish();
+}
+
+fn bench_sessions(c: &mut Criterion) {
+    let mut cfg = SimConfig::paper_week(5, 0.2);
+    cfg.days = 1;
+    let out = simulate(&cfg);
+    let mut group = c.benchmark_group("session_reconstruction");
+    group.throughput(Throughput::Elements(out.store.len() as u64));
+    group.bench_function(format!("{}_logs", out.store.len()), |b| {
+        b.iter(|| {
+            reconstruct(&out.store, &SessionConfig::default())
+                .stats
+                .n_sessions
+        });
+    });
+    group.finish();
+}
+
+fn bench_median_ci(c: &mut Criterion) {
+    let mut group = c.benchmark_group("order_stats_median_ci");
+    for &n in &[100usize, 1_000, 10_000] {
+        let sorted: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &sorted, |b, xs| {
+            b.iter(|| median_ci_sorted(xs, 0.95).expect("ci"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_distance,
+    bench_matcher,
+    bench_stop_patterns,
+    bench_sessions,
+    bench_median_ci
+);
+criterion_main!(benches);

@@ -1,0 +1,120 @@
+//! Minimal ASCII renderings of the paper's figures.
+
+/// Renders the stacked TP/FP bars of Figures 5/6/8: one row per day
+/// with a `#` bar for true positives, a `x` bar for false positives,
+/// and the true-positive ratio annotated.
+pub fn stacked_days(labels: &[String], tp: &[usize], fp: &[usize]) -> String {
+    assert_eq!(labels.len(), tp.len());
+    assert_eq!(tp.len(), fp.len());
+    let max = tp
+        .iter()
+        .zip(fp)
+        .map(|(a, b)| a + b)
+        .max()
+        .unwrap_or(1)
+        .max(1);
+    let width = 60usize;
+    let mut out = String::new();
+    for i in 0..labels.len() {
+        let tpw = tp[i] * width / max;
+        let fpw = fp[i] * width / max;
+        let ratio = if tp[i] + fp[i] > 0 {
+            tp[i] as f64 / (tp[i] + fp[i]) as f64
+        } else {
+            0.0
+        };
+        out.push_str(&format!(
+            "{:>6} | {}{} tp={} fp={} ratio={:.2}\n",
+            labels[i],
+            "#".repeat(tpw),
+            "x".repeat(fpw),
+            tp[i],
+            fp[i],
+            ratio
+        ));
+    }
+    out
+}
+
+/// Renders a numeric series as a sparkline-style row of height levels.
+pub fn sparkline(values: &[f64]) -> String {
+    const LEVELS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    if values.is_empty() {
+        return String::new();
+    }
+    let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let span = (max - min).max(1e-12);
+    values
+        .iter()
+        .map(|v| {
+            let idx = (((v - min) / span) * 7.0).round() as usize;
+            LEVELS[idx.min(7)]
+        })
+        .collect()
+}
+
+/// Renders a boxplot summary on one line over a fixed scale
+/// (min..max of the data), marking quartiles, median and the CI.
+pub fn boxplot_line(
+    label: &str,
+    min: f64,
+    q1: f64,
+    median: f64,
+    q3: f64,
+    max: f64,
+    ci: (f64, f64),
+) -> String {
+    let width = 64usize;
+    let span = (max - min).max(1e-12);
+    let pos = |v: f64| -> usize { (((v - min) / span) * (width as f64 - 1.0)).round() as usize };
+    let mut row = vec![' '; width];
+    for cell in row.iter_mut().take(pos(q3) + 1).skip(pos(q1)) {
+        *cell = '-';
+    }
+    for cell in row.iter_mut().take(pos(ci.1) + 1).skip(pos(ci.0)) {
+        *cell = '=';
+    }
+    row[pos(min)] = '|';
+    row[pos(max)] = '|';
+    row[pos(median)] = 'M';
+    format!("{label:>10} [{}]", row.iter().collect::<String>())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stacked_days_shapes() {
+        let s = stacked_days(&["d0".to_owned(), "d1".to_owned()], &[10, 20], &[5, 0]);
+        assert_eq!(s.lines().count(), 2);
+        assert!(s.contains("ratio=0.67"));
+        assert!(s.contains("ratio=1.00"));
+        assert!(s.lines().next().expect("row").contains('x'));
+    }
+
+    #[test]
+    fn sparkline_monotone() {
+        let s = sparkline(&[0.0, 0.5, 1.0]);
+        assert_eq!(s.chars().count(), 3);
+        assert!(s.starts_with('▁'));
+        assert!(s.ends_with('█'));
+        assert_eq!(sparkline(&[]), "");
+    }
+
+    #[test]
+    fn boxplot_line_marks_median() {
+        let s = boxplot_line("r", 0.0, 1.0, 2.0, 3.0, 4.0, (1.5, 2.5));
+        assert!(s.contains('M'));
+        assert!(s.contains('='));
+        assert!(s.contains('-'));
+    }
+
+    #[test]
+    fn degenerate_inputs_do_not_panic() {
+        let _ = stacked_days(&["d".to_owned()], &[0], &[0]);
+        let _ = sparkline(&[1.0, 1.0, 1.0]);
+        let _ = boxplot_line("x", 5.0, 5.0, 5.0, 5.0, 5.0, (5.0, 5.0));
+    }
+}

@@ -1,0 +1,16 @@
+//! Shared experiment harness for the table/figure regeneration
+//! binaries.
+//!
+//! Every `--bin` in this crate reproduces one table or figure of
+//! Steinle et al. (VLDB 2006); this library holds the pieces they
+//! share: the calibrated simulated week, resolved reference models,
+//! default technique configurations, JSON report output and small
+//! ASCII renderings.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ascii;
+pub mod workbench;
+
+pub use workbench::Workbench;

@@ -1,0 +1,147 @@
+//! Minimal command-line argument parsing.
+//!
+//! `--key value` flags plus one leading subcommand; no external parser
+//! crate, per the workspace's thin-dependency policy.
+
+use std::collections::BTreeMap;
+
+/// A parsed command line: subcommand plus `--key value` flags.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Args {
+    /// The leading subcommand.
+    pub command: String,
+    /// Flag values by name (without the leading dashes).
+    pub flags: BTreeMap<String, String>,
+}
+
+/// Errors from parsing or flag lookup.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArgError {
+    /// No subcommand was supplied.
+    NoCommand,
+    /// A flag was given without a value.
+    MissingValue(String),
+    /// A positional argument appeared where a flag was expected.
+    UnexpectedPositional(String),
+    /// A required flag is absent.
+    Required(&'static str),
+    /// A flag value failed to parse.
+    BadValue(&'static str, String),
+}
+
+impl std::fmt::Display for ArgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArgError::NoCommand => write!(f, "no subcommand given (try `logdep help`)"),
+            ArgError::MissingValue(k) => write!(f, "flag --{k} needs a value"),
+            ArgError::UnexpectedPositional(v) => {
+                write!(f, "unexpected positional argument {v:?}")
+            }
+            ArgError::Required(k) => write!(f, "missing required flag --{k}"),
+            ArgError::BadValue(k, v) => write!(f, "flag --{k}: cannot parse {v:?}"),
+        }
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+impl Args {
+    /// Parses `argv` (without the program name).
+    pub fn parse(argv: &[String]) -> Result<Self, ArgError> {
+        let mut it = argv.iter();
+        let command = it.next().ok_or(ArgError::NoCommand)?.clone();
+        let mut flags = BTreeMap::new();
+        while let Some(token) = it.next() {
+            let key = token
+                .strip_prefix("--")
+                .ok_or_else(|| ArgError::UnexpectedPositional(token.clone()))?;
+            let value = it
+                .next()
+                .ok_or_else(|| ArgError::MissingValue(key.to_owned()))?;
+            flags.insert(key.to_owned(), value.clone());
+        }
+        Ok(Self { command, flags })
+    }
+
+    /// A required string flag.
+    pub fn required(&self, key: &'static str) -> Result<&str, ArgError> {
+        self.flags
+            .get(key)
+            .map(String::as_str)
+            .ok_or(ArgError::Required(key))
+    }
+
+    /// An optional string flag.
+    pub fn optional(&self, key: &str) -> Option<&str> {
+        self.flags.get(key).map(String::as_str)
+    }
+
+    /// An optional parsed flag with a default.
+    pub fn parsed_or<T: std::str::FromStr>(
+        &self,
+        key: &'static str,
+        default: T,
+    ) -> Result<T, ArgError> {
+        match self.flags.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| ArgError::BadValue(key, v.clone())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(items: &[&str]) -> Vec<String> {
+        items.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_command_and_flags() {
+        let a = Args::parse(&argv(&["l3", "--logs", "x.tsv", "--directory", "d.xml"])).unwrap();
+        assert_eq!(a.command, "l3");
+        assert_eq!(a.required("logs").unwrap(), "x.tsv");
+        assert_eq!(a.optional("directory"), Some("d.xml"));
+        assert_eq!(a.optional("absent"), None);
+    }
+
+    #[test]
+    fn parsed_with_defaults() {
+        let a = Args::parse(&argv(&["l2", "--timeout", "500"])).unwrap();
+        assert_eq!(a.parsed_or::<i64>("timeout", 1000).unwrap(), 500);
+        assert_eq!(a.parsed_or::<i64>("minlogs", 25).unwrap(), 25);
+        let a = Args::parse(&argv(&["l2", "--timeout", "abc"])).unwrap();
+        assert!(matches!(
+            a.parsed_or::<i64>("timeout", 1000),
+            Err(ArgError::BadValue("timeout", _))
+        ));
+    }
+
+    #[test]
+    fn error_cases() {
+        assert_eq!(Args::parse(&[]), Err(ArgError::NoCommand));
+        assert!(matches!(
+            Args::parse(&argv(&["l3", "--logs"])),
+            Err(ArgError::MissingValue(_))
+        ));
+        assert!(matches!(
+            Args::parse(&argv(&["l3", "oops"])),
+            Err(ArgError::UnexpectedPositional(_))
+        ));
+        let a = Args::parse(&argv(&["l3"])).unwrap();
+        assert!(matches!(
+            a.required("logs"),
+            Err(ArgError::Required("logs"))
+        ));
+    }
+
+    #[test]
+    fn display_messages() {
+        assert!(ArgError::NoCommand.to_string().contains("help"));
+        assert!(ArgError::Required("logs").to_string().contains("--logs"));
+        assert!(ArgError::BadValue("n", "x".into())
+            .to_string()
+            .contains("parse"));
+    }
+}

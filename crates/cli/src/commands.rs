@@ -1,0 +1,387 @@
+//! The CLI subcommands.
+
+use crate::args::Args;
+use logdep::evolution::app_service_churn;
+use logdep::graph::DependencyGraph;
+use logdep::l1::{run_l1, L1Config};
+use logdep::l2::{run_l2, L2Config};
+use logdep::l3::{run_l3, L3Config};
+use logdep::AppServiceModel;
+use logdep_logstore::codec::{read_store, write_store};
+use logdep_logstore::time::TimeRange;
+use logdep_logstore::{LogStore, Millis};
+use logdep_sessions::{reconstruct, SessionConfig};
+use logdep_sim::textgen::standard_stop_patterns;
+use logdep_sim::{simulate as run_sim, ServiceDirectory, SimConfig};
+use logdep_textmatch::{cluster, ClusterConfig};
+use std::error::Error;
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Write};
+
+/// Help text shown by `logdep help`.
+pub const HELP: &str = "\
+logdep — dependency models mined from logs (Steinle et al., VLDB 2006)
+
+commands:
+  simulate  --out LOGS.tsv --directory DIR.xml [--days N --seed N --scale X]
+  l1        --logs LOGS.tsv [--minlogs N --days N]
+  l2        --logs LOGS.tsv [--timeout MS --days N]
+  l3        --logs LOGS.tsv --directory DIR.xml [--stop-patterns FILE --days N]
+  sessions  --logs LOGS.tsv
+  templates --logs LOGS.tsv --source APP [--support N]
+  churn     --before A.tsv --after B.tsv --directory DIR.xml
+  impact    --logs LOGS.tsv --directory DIR.xml --owners OWNERS.tsv
+            [--app NAME | --symptoms \"A,B,C\"]
+  help";
+
+type CmdResult = Result<(), Box<dyn Error>>;
+
+/// Loads one TSV export, or several (comma-separated paths) merged —
+/// the consolidation step of §5, for logs collected from decentralized
+/// storage locations.
+fn load_logs(paths: &str) -> Result<LogStore, Box<dyn Error>> {
+    let mut merged: Option<LogStore> = None;
+    for path in paths.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+        let file = File::open(path).map_err(|e| format!("open {path:?}: {e}"))?;
+        let (store, errors) = read_store(BufReader::new(file))?;
+        if !errors.is_empty() {
+            eprintln!(
+                "warning: {} malformed lines skipped in {path}",
+                errors.len()
+            );
+        }
+        match merged.as_mut() {
+            None => merged = Some(store),
+            Some(m) => m.merge(&store),
+        }
+    }
+    let mut store = merged.ok_or("no log files given")?;
+    store.finalize();
+    Ok(store)
+}
+
+fn load_directory(path: &str) -> Result<Vec<String>, Box<dyn Error>> {
+    let xml = std::fs::read_to_string(path).map_err(|e| format!("open {path:?}: {e}"))?;
+    let dir = ServiceDirectory::from_xml(&xml)?;
+    Ok(dir.ids().iter().map(|s| s.to_string()).collect())
+}
+
+fn full_range(args: &Args) -> Result<TimeRange, Box<dyn Error>> {
+    let days: i64 = args.parsed_or("days", 365)?;
+    Ok(TimeRange::new(Millis(0), Millis::from_days(days)))
+}
+
+/// `logdep simulate` — generate a synthetic week as TSV + directory XML.
+pub fn simulate(args: &Args, out: &mut dyn Write) -> CmdResult {
+    let logs_path = args.required("out")?;
+    let dir_path = args.required("directory")?;
+    let mut cfg =
+        SimConfig::paper_week(args.parsed_or("seed", 42)?, args.parsed_or("scale", 0.25)?);
+    cfg.days = args.parsed_or("days", 7)?;
+    let sim = run_sim(&cfg);
+
+    let file = File::create(logs_path).map_err(|e| format!("create {logs_path:?}: {e}"))?;
+    let mut w = BufWriter::new(file);
+    write_store(&mut w, &sim.store)?;
+    w.flush()?;
+    std::fs::write(dir_path, sim.directory.to_xml())?;
+
+    // Ground truth alongside, for scoring.
+    let truth_path = format!("{logs_path}.truth.json");
+    std::fs::write(&truth_path, serde_json::to_string_pretty(&sim.truth)?)?;
+
+    // Owner map (service id → implementing application), the operational
+    // knowledge the `impact` command needs.
+    let owners_path = format!("{dir_path}.owners.tsv");
+    let mut owners = String::new();
+    for svc in &sim.topology.services {
+        owners.push_str(&format!(
+            "{}\t{}\n",
+            svc.id, sim.topology.apps[svc.owner].name
+        ));
+    }
+    std::fs::write(&owners_path, owners)?;
+
+    writeln!(
+        out,
+        "wrote {} logs to {logs_path}, {} directory entries to {dir_path}, \
+         truth to {truth_path}, owners to {owners_path}",
+        sim.store.len(),
+        sim.directory.len()
+    )?;
+    Ok(())
+}
+
+/// `logdep l1` — activity-correlation mining.
+pub fn l1(args: &Args, out: &mut dyn Write) -> CmdResult {
+    let store = load_logs(args.required("logs")?)?;
+    let cfg = L1Config {
+        minlogs: args.parsed_or("minlogs", 25)?,
+        seed: args.parsed_or("seed", 7)?,
+        ..L1Config::default()
+    };
+    let sources = store.active_sources();
+    let res = run_l1(&store, full_range(args)?, &sources, &cfg)?;
+    writeln!(out, "L1: {} dependent pairs", res.detected.len())?;
+    for (a, b) in res.detected.iter() {
+        writeln!(
+            out,
+            "  {} <-> {}",
+            store.registry.source_name(a),
+            store.registry.source_name(b)
+        )?;
+    }
+    Ok(())
+}
+
+/// `logdep l2` — session co-occurrence mining.
+pub fn l2(args: &Args, out: &mut dyn Write) -> CmdResult {
+    let store = load_logs(args.required("logs")?)?;
+    let timeout: i64 = args.parsed_or("timeout", 1_000)?;
+    let cfg = L2Config {
+        timeout_ms: (timeout > 0).then_some(timeout),
+        ..L2Config::default()
+    };
+    let res = run_l2(&store, full_range(args)?, &cfg)?;
+    writeln!(
+        out,
+        "L2: {} sessions, {} bigrams, {} dependent pairs",
+        res.session_stats.n_sessions,
+        res.bigrams.total,
+        res.detected.len()
+    )?;
+    for (a, b) in res.detected.iter() {
+        writeln!(
+            out,
+            "  {} <-> {}",
+            store.registry.source_name(a),
+            store.registry.source_name(b)
+        )?;
+    }
+    Ok(())
+}
+
+fn l3_config(args: &Args) -> Result<L3Config, Box<dyn Error>> {
+    Ok(match args.optional("stop-patterns") {
+        Some("standard") => L3Config::with_stop_patterns(standard_stop_patterns()),
+        Some(path) => {
+            let text = std::fs::read_to_string(path).map_err(|e| format!("open {path:?}: {e}"))?;
+            L3Config::with_stop_patterns(text.lines().filter(|l| !l.trim().is_empty()))
+        }
+        None => L3Config::default(),
+    })
+}
+
+/// `logdep l3` — directory-citation mining.
+pub fn l3(args: &Args, out: &mut dyn Write) -> CmdResult {
+    let store = load_logs(args.required("logs")?)?;
+    let ids = load_directory(args.required("directory")?)?;
+    let cfg = l3_config(args)?;
+    let res = run_l3(&store, full_range(args)?, &ids, &cfg)?;
+    writeln!(
+        out,
+        "L3: {} dependencies ({} logs stopped by {} patterns)",
+        res.detected.len(),
+        res.stopped_logs,
+        cfg.stop_patterns.len()
+    )?;
+    for (app, svc) in res.detected.iter() {
+        writeln!(out, "  {} -> {}", store.registry.source_name(app), ids[svc])?;
+    }
+    Ok(())
+}
+
+/// `logdep sessions` — reconstruction statistics.
+pub fn sessions(args: &Args, out: &mut dyn Write) -> CmdResult {
+    let store = load_logs(args.required("logs")?)?;
+    let set = reconstruct(&store, &SessionConfig::default());
+    writeln!(
+        out,
+        "{} sessions from {} logs ({:.1}% assignable, {} discarded as too short)",
+        set.stats.n_sessions,
+        set.stats.total_logs,
+        100.0 * set.stats.assigned_fraction(),
+        set.stats.discarded_sessions
+    )?;
+    let mut lengths: Vec<usize> = set.sessions.iter().map(|s| s.len()).collect();
+    lengths.sort_unstable();
+    if !lengths.is_empty() {
+        writeln!(
+            out,
+            "session length min/median/max: {}/{}/{}",
+            lengths[0],
+            lengths[lengths.len() / 2],
+            lengths[lengths.len() - 1]
+        )?;
+    }
+    Ok(())
+}
+
+/// `logdep templates` — SLCT message clustering for one source.
+pub fn templates(args: &Args, out: &mut dyn Write) -> CmdResult {
+    let store = load_logs(args.required("logs")?)?;
+    let source_name = args.required("source")?;
+    let source = store
+        .registry
+        .find_source(source_name)
+        .ok_or_else(|| format!("unknown source {source_name:?}"))?;
+    let texts: Vec<&str> = store
+        .records()
+        .iter()
+        .filter(|r| r.source == source)
+        .map(|r| r.text.as_str())
+        .collect();
+    let support = args.parsed_or("support", 10)?;
+    let cfg = ClusterConfig {
+        word_support: support,
+        cluster_support: support,
+    };
+    let (templates, outliers) = cluster(texts.iter().copied(), &cfg);
+    writeln!(
+        out,
+        "{} templates over {} messages of {source_name} ({} outliers):",
+        templates.len(),
+        texts.len(),
+        outliers
+    )?;
+    for t in templates.iter().take(30) {
+        writeln!(out, "  {:>6}×  {}", t.support, t.render())?;
+    }
+    Ok(())
+}
+
+/// `logdep impact` — mine with L3, build the dependency graph, answer
+/// the §1.1 operator questions.
+pub fn impact(args: &Args, out: &mut dyn Write) -> CmdResult {
+    let store = load_logs(args.required("logs")?)?;
+    let ids = load_directory(args.required("directory")?)?;
+    let owners_path = args.required("owners")?;
+    let owners_text =
+        std::fs::read_to_string(owners_path).map_err(|e| format!("open {owners_path:?}: {e}"))?;
+    let mut owner_of = std::collections::HashMap::new();
+    for line in owners_text.lines().filter(|l| !l.trim().is_empty()) {
+        let (id, app) = line
+            .split_once('\t')
+            .ok_or_else(|| format!("owners file: bad line {line:?}"))?;
+        owner_of.insert(id.to_owned(), app.to_owned());
+    }
+    let owners: Vec<_> = ids
+        .iter()
+        .map(|id| {
+            owner_of
+                .get(id)
+                .and_then(|app| store.registry.find_source(app))
+                .ok_or_else(|| format!("no owner application known for service {id}"))
+        })
+        .collect::<Result<_, _>>()?;
+
+    let cfg = l3_config(args)?;
+    let res = run_l3(&store, full_range(args)?, &ids, &cfg)?;
+    let graph = DependencyGraph::from_app_service(&res.detected, &owners);
+    writeln!(
+        out,
+        "graph: {} applications, {} dependencies",
+        graph.nodes().count(),
+        graph.n_edges()
+    )?;
+
+    if let Some(app_name) = args.optional("app") {
+        let app = store
+            .registry
+            .find_source(app_name)
+            .ok_or_else(|| format!("unknown application {app_name:?}"))?;
+        let impact = graph.impact_set(app);
+        writeln!(
+            out,
+            "impact of {app_name} degrading: {} applications",
+            impact.len()
+        )?;
+        for a in impact {
+            writeln!(out, "  {}", store.registry.source_name(a))?;
+        }
+    } else if let Some(symptoms) = args.optional("symptoms") {
+        let apps: Vec<_> = symptoms
+            .split(',')
+            .map(|n| {
+                store
+                    .registry
+                    .find_source(n.trim())
+                    .ok_or_else(|| format!("unknown application {n:?}"))
+            })
+            .collect::<Result<_, _>>()?;
+        writeln!(out, "root-cause candidates (fewest collateral first):")?;
+        for (cand, collateral) in graph.root_candidates(&apps).into_iter().take(10) {
+            writeln!(
+                out,
+                "  {} (+{collateral})",
+                store.registry.source_name(cand)
+            )?;
+        }
+    } else {
+        writeln!(out, "most critical applications:")?;
+        for (app, n) in graph.criticality().into_iter().take(10) {
+            writeln!(out, "  {:>6}  {}", n, store.registry.source_name(app))?;
+        }
+    }
+    Ok(())
+}
+
+/// `logdep churn` — L3 on two log exports, diffed.
+pub fn churn(args: &Args, out: &mut dyn Write) -> CmdResult {
+    let ids = load_directory(args.required("directory")?)?;
+    let cfg = l3_config(args)?;
+    let range = full_range(args)?;
+    let mine = |path: &str| -> Result<(LogStore, AppServiceModel), Box<dyn Error>> {
+        let store = load_logs(path)?;
+        let detected = run_l3(&store, range, &ids, &cfg)?.detected;
+        Ok((store, detected))
+    };
+    let (store_a, before) = mine(args.required("before")?)?;
+    let (store_b, after) = mine(args.required("after")?)?;
+
+    // Models are diffed by name, re-resolved into the AFTER registry,
+    // so the two exports may intern sources in different orders.
+    let before_named: Vec<(String, String)> = before
+        .iter()
+        .map(|(app, svc)| {
+            (
+                store_a.registry.source_name(app).to_owned(),
+                ids[svc].clone(),
+            )
+        })
+        .collect();
+    let before_in_b = AppServiceModel::from_names(
+        &store_b.registry,
+        &ids,
+        before_named
+            .iter()
+            .filter(|(app, _)| store_b.registry.find_source(app).is_some())
+            .map(|(a, s)| (a.as_str(), s.as_str())),
+    )?;
+    let c = app_service_churn(&before_in_b, &after);
+    writeln!(
+        out,
+        "churn: {} appeared, {} disappeared, {} stable (stability {:.2})",
+        c.appeared.len(),
+        c.disappeared.len(),
+        c.stable.len(),
+        c.stability()
+    )?;
+    for &(app, svc) in c.appeared.iter().take(20) {
+        writeln!(
+            out,
+            "  + {} -> {}",
+            store_b.registry.source_name(app),
+            ids[svc]
+        )?;
+    }
+    for &(app, svc) in c.disappeared.iter().take(20) {
+        writeln!(
+            out,
+            "  - {} -> {}",
+            store_b.registry.source_name(app),
+            ids[svc]
+        )?;
+    }
+    Ok(())
+}

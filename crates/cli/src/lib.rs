@@ -1,0 +1,62 @@
+//! The `logdep` command-line dependency miner.
+//!
+//! Runs the paper's three techniques over a TSV log export and a
+//! service-directory XML document — the nightly-cron interface a
+//! deployment like HUG's would actually operate. Every command writes
+//! human-readable text to the supplied writer, so the whole tool is
+//! testable in-process.
+//!
+//! ```text
+//! logdep simulate --out logs.tsv --directory dir.xml --days 2
+//! logdep l3 --logs logs.tsv --directory dir.xml [--stop-patterns p.txt]
+//! logdep l2 --logs logs.tsv [--timeout 1000]
+//! logdep l1 --logs logs.tsv [--minlogs 25]
+//! logdep sessions --logs logs.tsv
+//! logdep templates --logs logs.tsv --source AppName
+//! logdep churn --before a.tsv --after b.tsv --directory dir.xml
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod commands;
+
+use args::Args;
+use std::io::Write;
+
+/// Runs the CLI against parsed argv; returns the process exit code.
+pub fn run(argv: &[String], out: &mut dyn Write) -> i32 {
+    let args = match Args::parse(argv) {
+        Ok(a) => a,
+        Err(e) => {
+            let _ = writeln!(out, "error: {e}");
+            return 2;
+        }
+    };
+    let result = match args.command.as_str() {
+        "simulate" => commands::simulate(&args, out),
+        "l1" => commands::l1(&args, out),
+        "l2" => commands::l2(&args, out),
+        "l3" => commands::l3(&args, out),
+        "sessions" => commands::sessions(&args, out),
+        "templates" => commands::templates(&args, out),
+        "churn" => commands::churn(&args, out),
+        "impact" => commands::impact(&args, out),
+        "help" | "--help" | "-h" => {
+            let _ = writeln!(out, "{}", commands::HELP);
+            Ok(())
+        }
+        other => {
+            let _ = writeln!(out, "error: unknown command {other:?}\n{}", commands::HELP);
+            return 2;
+        }
+    };
+    match result {
+        Ok(()) => 0,
+        Err(e) => {
+            let _ = writeln!(out, "error: {e}");
+            1
+        }
+    }
+}

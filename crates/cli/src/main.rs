@@ -1,0 +1,7 @@
+//! Binary entry point; all logic lives in the library for testability.
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut out = std::io::stdout().lock();
+    std::process::exit(logdep_cli::run(&argv, &mut out));
+}

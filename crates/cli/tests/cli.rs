@@ -1,0 +1,274 @@
+//! In-process integration tests of the CLI: simulate into a temp dir,
+//! then mine it back through every subcommand.
+
+use std::path::PathBuf;
+
+fn run(args: &[&str]) -> (i32, String) {
+    let argv: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+    let mut out = Vec::new();
+    let code = logdep_cli::run(&argv, &mut out);
+    (code, String::from_utf8(out).expect("utf8 output"))
+}
+
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        let dir =
+            std::env::temp_dir().join(format!("logdep-cli-test-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("create temp dir");
+        TempDir(dir)
+    }
+    fn path(&self, name: &str) -> String {
+        self.0.join(name).to_string_lossy().into_owned()
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn simulated(dir: &TempDir) -> (String, String) {
+    let logs = dir.path("logs.tsv");
+    let directory = dir.path("dir.xml");
+    let (code, out) = run(&[
+        "simulate",
+        "--out",
+        &logs,
+        "--directory",
+        &directory,
+        "--days",
+        "1",
+        "--seed",
+        "5",
+        "--scale",
+        "0.15",
+    ]);
+    assert_eq!(code, 0, "simulate failed: {out}");
+    assert!(out.contains("wrote"));
+    (logs, directory)
+}
+
+#[test]
+fn help_and_unknown_command() {
+    let (code, out) = run(&["help"]);
+    assert_eq!(code, 0);
+    assert!(out.contains("simulate"));
+    let (code, out) = run(&["frobnicate"]);
+    assert_eq!(code, 2);
+    assert!(out.contains("unknown command"));
+    let (code, _) = run(&[]);
+    assert_eq!(code, 2);
+}
+
+#[test]
+fn missing_flags_and_files_fail_cleanly() {
+    let (code, out) = run(&["l3", "--logs", "nope.tsv"]);
+    assert_eq!(code, 1);
+    assert!(out.contains("--directory") || out.contains("error"));
+    let (code, out) = run(&["l2", "--logs", "/definitely/not/here.tsv"]);
+    assert_eq!(code, 1);
+    assert!(out.contains("error"));
+}
+
+#[test]
+fn full_pipeline_over_a_simulated_day() {
+    let dir = TempDir::new("pipeline");
+    let (logs, directory) = simulated(&dir);
+
+    // L3 with the standard stop patterns.
+    let (code, out) = run(&[
+        "l3",
+        "--logs",
+        &logs,
+        "--directory",
+        &directory,
+        "--stop-patterns",
+        "standard",
+    ]);
+    assert_eq!(code, 0, "{out}");
+    assert!(out.contains("L3:"), "{out}");
+    assert!(out.lines().count() > 50, "L3 should find many deps: {out}");
+
+    // L2.
+    let (code, out) = run(&["l2", "--logs", &logs, "--timeout", "1000"]);
+    assert_eq!(code, 0, "{out}");
+    assert!(out.contains("sessions"));
+    assert!(out.lines().count() > 5);
+
+    // Sessions.
+    let (code, out) = run(&["sessions", "--logs", &logs]);
+    assert_eq!(code, 0, "{out}");
+    assert!(out.contains("assignable"));
+
+    // Templates for a known client app.
+    let (code, out) = run(&["templates", "--logs", &logs, "--source", "DPIFormidoc"]);
+    assert_eq!(code, 0, "{out}");
+    assert!(out.contains("templates"), "{out}");
+}
+
+#[test]
+fn l1_runs_on_simulated_logs() {
+    let dir = TempDir::new("l1");
+    let (logs, _) = simulated(&dir);
+    let (code, out) = run(&["l1", "--logs", &logs, "--minlogs", "12"]);
+    assert_eq!(code, 0, "{out}");
+    assert!(out.contains("L1:"), "{out}");
+}
+
+#[test]
+fn churn_between_two_exports() {
+    let dir = TempDir::new("churn");
+    let (logs_a, directory) = simulated(&dir);
+    // Second export: different seed, same landscape shape.
+    let logs_b = dir.path("logs-b.tsv");
+    let dir_b = dir.path("dir-b.xml");
+    let (code, _) = run(&[
+        "simulate",
+        "--out",
+        &logs_b,
+        "--directory",
+        &dir_b,
+        "--days",
+        "1",
+        "--seed",
+        "5",
+        "--scale",
+        "0.1",
+    ]);
+    assert_eq!(code, 0);
+    let (code, out) = run(&[
+        "churn",
+        "--before",
+        &logs_a,
+        "--after",
+        &logs_b,
+        "--directory",
+        &directory,
+        "--stop-patterns",
+        "standard",
+    ]);
+    assert_eq!(code, 0, "{out}");
+    assert!(out.contains("stability"), "{out}");
+}
+
+#[test]
+fn bad_stop_pattern_file_is_an_error() {
+    let dir = TempDir::new("stops");
+    let (logs, directory) = simulated(&dir);
+    let (code, out) = run(&[
+        "l3",
+        "--logs",
+        &logs,
+        "--directory",
+        &directory,
+        "--stop-patterns",
+        "/no/such/file.txt",
+    ]);
+    assert_eq!(code, 1);
+    assert!(out.contains("error"));
+}
+
+#[test]
+fn impact_command_answers_operator_questions() {
+    let dir = TempDir::new("impact");
+    let (logs, directory) = simulated(&dir);
+    let owners = format!("{directory}.owners.tsv");
+
+    // Criticality ranking (default mode).
+    let (code, out) = run(&[
+        "impact",
+        "--logs",
+        &logs,
+        "--directory",
+        &directory,
+        "--owners",
+        &owners,
+        "--stop-patterns",
+        "standard",
+    ]);
+    assert_eq!(code, 0, "{out}");
+    assert!(out.contains("most critical"), "{out}");
+
+    // Impact of a named app: pick the first critical one from the output.
+    let critical = out
+        .lines()
+        .find(|l| {
+            l.trim_start()
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_ascii_digit())
+        })
+        .and_then(|l| l.split_whitespace().nth(1))
+        .expect("a ranked app")
+        .to_owned();
+    let (code, out) = run(&[
+        "impact",
+        "--logs",
+        &logs,
+        "--directory",
+        &directory,
+        "--owners",
+        &owners,
+        "--stop-patterns",
+        "standard",
+        "--app",
+        &critical,
+    ]);
+    assert_eq!(code, 0, "{out}");
+    assert!(out.contains("impact of"), "{out}");
+}
+
+#[test]
+fn comma_separated_logs_are_consolidated() {
+    let dir = TempDir::new("merge");
+    let (logs_a, directory) = simulated(&dir);
+    let logs_b = dir.path("logs-b.tsv");
+    let dir_b = dir.path("dir-b.xml");
+    let (code, _) = run(&[
+        "simulate",
+        "--out",
+        &logs_b,
+        "--directory",
+        &dir_b,
+        "--days",
+        "1",
+        "--seed",
+        "6",
+        "--scale",
+        "0.1",
+    ]);
+    assert_eq!(code, 0);
+
+    let both = format!("{logs_a},{logs_b}");
+    let (code, merged_out) = run(&["sessions", "--logs", &both]);
+    assert_eq!(code, 0, "{merged_out}");
+    let (code, single_out) = run(&["sessions", "--logs", &logs_a]);
+    assert_eq!(code, 0);
+    let count = |s: &str| -> usize {
+        s.split_whitespace()
+            .nth(3)
+            .and_then(|w| w.parse().ok())
+            .unwrap_or(0)
+    };
+    // "<N> sessions from <M> logs ..." — merged M exceeds single M.
+    assert!(
+        count(&merged_out) > count(&single_out),
+        "{merged_out} vs {single_out}"
+    );
+
+    // L3 over the consolidated pair still works.
+    let (code, out) = run(&[
+        "l3",
+        "--logs",
+        &both,
+        "--directory",
+        &directory,
+        "--stop-patterns",
+        "standard",
+    ]);
+    assert_eq!(code, 0, "{out}");
+    assert!(out.contains("L3:"));
+}

@@ -1,0 +1,22 @@
+//! Related-work baselines the paper positions itself against (§2.1).
+//!
+//! * [`agrawal`] — Agrawal et al.'s activity-period technique: "one
+//!   builds histograms of delays and performs a χ² test to measure the
+//!   deviation from a uniformly random distribution". Non-intrusive
+//!   like L1, but needs a delay *window* assumption and degrades with
+//!   parallelism.
+//! * [`ensel`] — Ensel's neural-network approach: a supervised
+//!   classifier over activity-correlation features. Works on very
+//!   generic data, but — the paper's core criticism — "the neural
+//!   network has to be trained in a supervised manner, a laborious
+//!   process": it needs labeled pairs that only an expert (or, here,
+//!   the simulator's ground truth) can provide.
+//!
+//! The `baselines` experiment binary compares both against technique
+//! L1 on the same simulated day.
+
+pub mod agrawal;
+pub mod ensel;
+
+pub use agrawal::{run_agrawal, AgrawalConfig, AgrawalOutcome, AgrawalResult};
+pub use ensel::{pair_features, EnselClassifier, EnselConfig, PairFeatures};

@@ -1,0 +1,138 @@
+//! Tracking the moving landscape: model evolution between mining runs.
+//!
+//! The paper's title problem is that the landscape *moves* — the whole
+//! point of automated model generation is re-running it and seeing
+//! what changed. This module compares two mined models (say, last
+//! week's and this week's) and reports appeared/disappeared
+//! dependencies, plus a stability summary an operator can alert on.
+
+use crate::model::{AppServiceModel, PairModel};
+use logdep_logstore::SourceId;
+use serde::{Deserialize, Serialize};
+
+/// Change report between two models of the same flavour.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Churn<T: Ord> {
+    /// Dependencies present now but not before.
+    pub appeared: Vec<T>,
+    /// Dependencies present before but not now.
+    pub disappeared: Vec<T>,
+    /// Dependencies present in both.
+    pub stable: Vec<T>,
+}
+
+impl<T: Ord> Default for Churn<T> {
+    fn default() -> Self {
+        Self {
+            appeared: Vec::new(),
+            disappeared: Vec::new(),
+            stable: Vec::new(),
+        }
+    }
+}
+
+impl<T: Ord> Churn<T> {
+    /// Jaccard stability of the two models: |∩| / |∪| (1.0 when both
+    /// are empty — nothing moved).
+    pub fn stability(&self) -> f64 {
+        let union = self.appeared.len() + self.disappeared.len() + self.stable.len();
+        if union == 0 {
+            1.0
+        } else {
+            self.stable.len() as f64 / union as f64
+        }
+    }
+
+    /// Total number of changes.
+    pub fn n_changes(&self) -> usize {
+        self.appeared.len() + self.disappeared.len()
+    }
+}
+
+/// Compares two pair models (L1/L2 output).
+pub fn pair_churn(before: &PairModel, after: &PairModel) -> Churn<(SourceId, SourceId)> {
+    let mut churn = Churn::default();
+    for p in after.iter() {
+        if before.contains(p.0, p.1) {
+            churn.stable.push(p);
+        } else {
+            churn.appeared.push(p);
+        }
+    }
+    for p in before.iter() {
+        if !after.contains(p.0, p.1) {
+            churn.disappeared.push(p);
+        }
+    }
+    churn
+}
+
+/// Compares two app→service models (L3 output). Both models must be
+/// indexed against the same service-id list.
+pub fn app_service_churn(
+    before: &AppServiceModel,
+    after: &AppServiceModel,
+) -> Churn<(SourceId, usize)> {
+    let mut churn = Churn::default();
+    for d in after.iter() {
+        if before.contains(d.0, d.1) {
+            churn.stable.push(d);
+        } else {
+            churn.appeared.push(d);
+        }
+    }
+    for d in before.iter() {
+        if !after.contains(d.0, d.1) {
+            churn.disappeared.push(d);
+        }
+    }
+    churn
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(i: u32) -> SourceId {
+        SourceId(i)
+    }
+
+    #[test]
+    fn pair_churn_partitions() {
+        let before: PairModel = [(s(1), s(2)), (s(1), s(3))].into_iter().collect();
+        let after: PairModel = [(s(1), s(2)), (s(2), s(4))].into_iter().collect();
+        let c = pair_churn(&before, &after);
+        assert_eq!(c.stable, vec![(s(1), s(2))]);
+        assert_eq!(c.appeared, vec![(s(2), s(4))]);
+        assert_eq!(c.disappeared, vec![(s(1), s(3))]);
+        assert_eq!(c.n_changes(), 2);
+        assert!((c.stability() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identical_models_are_fully_stable() {
+        let m: PairModel = [(s(1), s(2))].into_iter().collect();
+        let c = pair_churn(&m, &m.clone());
+        assert_eq!(c.stability(), 1.0);
+        assert_eq!(c.n_changes(), 0);
+    }
+
+    #[test]
+    fn empty_models() {
+        let c = pair_churn(&PairModel::new(), &PairModel::new());
+        assert_eq!(c.stability(), 1.0);
+        let c = pair_churn(&PairModel::new(), &[(s(0), s(1))].into_iter().collect());
+        assert_eq!(c.stability(), 0.0);
+        assert_eq!(c.appeared.len(), 1);
+    }
+
+    #[test]
+    fn app_service_churn_partitions() {
+        let before: AppServiceModel = [(s(0), 0), (s(0), 1)].into_iter().collect();
+        let after: AppServiceModel = [(s(0), 1), (s(1), 2)].into_iter().collect();
+        let c = app_service_churn(&before, &after);
+        assert_eq!(c.stable, vec![(s(0), 1)]);
+        assert_eq!(c.appeared, vec![(s(1), 2)]);
+        assert_eq!(c.disappeared, vec![(s(0), 0)]);
+    }
+}

@@ -1,0 +1,251 @@
+//! Applications of a mined dependency model.
+//!
+//! §1.1 of the paper lists why dependency models are worth mining in
+//! the first place: "a support for both manual and automated fault
+//! localization … *fault detection*, *impact prediction* and service
+//! *availability requirements determination*". This module turns a
+//! mined [`AppServiceModel`] (directed, app → service with known
+//! owners) into a graph answering exactly those questions:
+//!
+//! * [`DependencyGraph::impact_set`] — who is (transitively) affected
+//!   if a component degrades (impact prediction);
+//! * [`DependencyGraph::root_candidates`] — which components could
+//!   explain a set of simultaneously failing ones (root-cause
+//!   analysis);
+//! * [`DependencyGraph::criticality`] — ranking components by how much
+//!   of the landscape depends on them (availability requirements).
+
+use crate::model::AppServiceModel;
+use logdep_logstore::SourceId;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// A directed dependency graph over applications: an edge `a → b`
+/// means `a` depends on (a service of) `b`.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct DependencyGraph {
+    /// Forward adjacency: dependencies of each app.
+    deps: BTreeMap<SourceId, BTreeSet<SourceId>>,
+    /// Reverse adjacency: dependents of each app.
+    rdeps: BTreeMap<SourceId, BTreeSet<SourceId>>,
+}
+
+impl DependencyGraph {
+    /// Builds the graph from a mined app→service model plus the
+    /// service-owner mapping (`owners[i]` implements service `i`).
+    /// Self-loops are dropped.
+    pub fn from_app_service(model: &AppServiceModel, owners: &[SourceId]) -> Self {
+        let mut g = Self::default();
+        for (app, svc) in model.iter() {
+            if let Some(&owner) = owners.get(svc) {
+                g.add_edge(app, owner);
+            }
+        }
+        g
+    }
+
+    /// Builds the graph from explicit directed edges.
+    pub fn from_edges(edges: impl IntoIterator<Item = (SourceId, SourceId)>) -> Self {
+        let mut g = Self::default();
+        for (a, b) in edges {
+            g.add_edge(a, b);
+        }
+        g
+    }
+
+    /// Adds a directed dependency edge (no-op for self-loops).
+    pub fn add_edge(&mut self, from: SourceId, to: SourceId) {
+        if from == to {
+            return;
+        }
+        self.deps.entry(from).or_default().insert(to);
+        self.rdeps.entry(to).or_default().insert(from);
+        self.deps.entry(to).or_default();
+        self.rdeps.entry(from).or_default();
+    }
+
+    /// All nodes.
+    pub fn nodes(&self) -> impl Iterator<Item = SourceId> + '_ {
+        self.deps.keys().copied()
+    }
+
+    /// Number of directed edges.
+    pub fn n_edges(&self) -> usize {
+        self.deps.values().map(BTreeSet::len).sum()
+    }
+
+    /// Direct dependencies of `app`.
+    pub fn dependencies(&self, app: SourceId) -> impl Iterator<Item = SourceId> + '_ {
+        self.deps.get(&app).into_iter().flatten().copied()
+    }
+
+    /// Direct dependents of `app`.
+    pub fn dependents(&self, app: SourceId) -> impl Iterator<Item = SourceId> + '_ {
+        self.rdeps.get(&app).into_iter().flatten().copied()
+    }
+
+    /// Impact prediction: every application that transitively depends
+    /// on `failing` (excluding `failing` itself), i.e. everything a
+    /// degradation could propagate to.
+    pub fn impact_set(&self, failing: SourceId) -> BTreeSet<SourceId> {
+        self.reach(failing, |g, n| {
+            Box::new(g.rdeps.get(&n).into_iter().flatten().copied())
+        })
+    }
+
+    /// Everything `app` transitively depends on — the components whose
+    /// availability `app` requires.
+    pub fn requirement_set(&self, app: SourceId) -> BTreeSet<SourceId> {
+        self.reach(app, |g, n| {
+            Box::new(g.deps.get(&n).into_iter().flatten().copied())
+        })
+    }
+
+    fn reach(
+        &self,
+        start: SourceId,
+        next: impl Fn(&Self, SourceId) -> Box<dyn Iterator<Item = SourceId> + '_>,
+    ) -> BTreeSet<SourceId> {
+        let mut seen = BTreeSet::new();
+        let mut queue = VecDeque::from([start]);
+        while let Some(n) = queue.pop_front() {
+            for m in next(self, n) {
+                if m != start && seen.insert(m) {
+                    queue.push_back(m);
+                }
+            }
+        }
+        seen
+    }
+
+    /// Root-cause candidates for a set of simultaneously symptomatic
+    /// applications: components (possibly symptomatic themselves) whose
+    /// failure would explain *all* symptoms — i.e. every symptomatic
+    /// app either is the candidate or transitively depends on it.
+    /// Ranked by how few *extra* (non-symptomatic) apps they would also
+    /// have taken down — the most parsimonious explanation first.
+    pub fn root_candidates(&self, symptoms: &[SourceId]) -> Vec<(SourceId, usize)> {
+        if symptoms.is_empty() {
+            return Vec::new();
+        }
+        let symptom_set: BTreeSet<SourceId> = symptoms.iter().copied().collect();
+        let mut candidates: Vec<(SourceId, usize)> = Vec::new();
+        for node in self.nodes() {
+            let impact = self.impact_set(node);
+            let explains = symptom_set.iter().all(|s| *s == node || impact.contains(s));
+            if explains {
+                let collateral = impact.difference(&symptom_set).count();
+                candidates.push((node, collateral));
+            }
+        }
+        candidates.sort_by_key(|&(n, c)| (c, n));
+        candidates
+    }
+
+    /// Criticality ranking: applications ordered by the size of their
+    /// impact set, descending — the components whose availability
+    /// requirements should be strictest.
+    pub fn criticality(&self) -> Vec<(SourceId, usize)> {
+        let mut v: Vec<(SourceId, usize)> = self
+            .nodes()
+            .map(|n| (n, self.impact_set(n).len()))
+            .collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(i: u32) -> SourceId {
+        SourceId(i)
+    }
+
+    /// Diamond: 0 → 1 → 3, 0 → 2 → 3; plus isolated 4 → 0.
+    fn diamond() -> DependencyGraph {
+        DependencyGraph::from_edges([
+            (s(0), s(1)),
+            (s(0), s(2)),
+            (s(1), s(3)),
+            (s(2), s(3)),
+            (s(4), s(0)),
+        ])
+    }
+
+    #[test]
+    fn impact_propagates_upstream() {
+        let g = diamond();
+        // If 3 fails, everyone who depends on it is affected.
+        let impact = g.impact_set(s(3));
+        assert_eq!(impact, BTreeSet::from([s(0), s(1), s(2), s(4)]));
+        // A leaf dependent affects nobody.
+        assert!(g.impact_set(s(4)).is_empty());
+    }
+
+    #[test]
+    fn requirements_propagate_downstream() {
+        let g = diamond();
+        assert_eq!(
+            g.requirement_set(s(4)),
+            BTreeSet::from([s(0), s(1), s(2), s(3)])
+        );
+        assert!(g.requirement_set(s(3)).is_empty());
+    }
+
+    #[test]
+    fn root_candidates_prefer_parsimony() {
+        let g = diamond();
+        // Symptoms: 0 and 1 are failing. Candidates that explain both:
+        // 1 (0 depends on it, 1 is itself) and 3 (both depend on it).
+        let cands = g.root_candidates(&[s(0), s(1)]);
+        let names: Vec<SourceId> = cands.iter().map(|c| c.0).collect();
+        assert!(names.contains(&s(1)));
+        assert!(names.contains(&s(3)));
+        assert!(!names.contains(&s(2)), "2 does not explain symptom 1");
+        // 1 is more parsimonious (collateral {4}=1... impact of 1 is {0,4}
+        // minus symptoms {0,1} → {4}; impact of 3 is {0,1,2,4} minus
+        // symptoms → {2,4}); so 1 ranks first.
+        assert_eq!(cands[0].0, s(1));
+        assert!(cands[0].1 < cands.last().unwrap().1);
+    }
+
+    #[test]
+    fn criticality_ranks_the_shared_backend_first() {
+        let g = diamond();
+        let ranking = g.criticality();
+        assert_eq!(ranking[0].0, s(3), "shared sink must rank first");
+        assert_eq!(ranking[0].1, 4);
+        assert_eq!(ranking.last().unwrap().1, 0);
+    }
+
+    #[test]
+    fn cycles_terminate() {
+        let g = DependencyGraph::from_edges([(s(0), s(1)), (s(1), s(0)), (s(1), s(2))]);
+        assert_eq!(g.impact_set(s(2)), BTreeSet::from([s(0), s(1)]));
+        assert_eq!(g.requirement_set(s(0)), BTreeSet::from([s(1), s(2)]));
+        // A node in a cycle does not report itself.
+        assert!(!g.impact_set(s(0)).contains(&s(0)));
+    }
+
+    #[test]
+    fn from_app_service_uses_owners() {
+        let mut model = AppServiceModel::new();
+        model.insert(s(0), 0); // app0 -> svc0 (owned by 7)
+        model.insert(s(0), 1); // app0 -> svc1 (owned by 0: self, dropped)
+        let owners = vec![s(7), s(0)];
+        let g = DependencyGraph::from_app_service(&model, &owners);
+        assert_eq!(g.n_edges(), 1);
+        assert!(g.dependencies(s(0)).any(|d| d == s(7)));
+    }
+
+    #[test]
+    fn empty_graph_and_empty_symptoms() {
+        let g = DependencyGraph::default();
+        assert_eq!(g.n_edges(), 0);
+        assert!(g.root_candidates(&[]).is_empty());
+        assert!(g.criticality().is_empty());
+        assert!(g.impact_set(s(9)).is_empty());
+    }
+}

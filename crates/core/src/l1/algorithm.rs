@@ -1,0 +1,324 @@
+//! The slot-combining runner of technique L1.
+//!
+//! Splits the analysis range into slots, runs the directional test both
+//! ways for every candidate pair active enough in the slot, and combines
+//! the slot verdicts with the `pr`/`support` thresholds of §3.1.
+//!
+//! The random-side sample depends only on `(A, slot)`, so it is computed
+//! once per active source per slot and shared across all partners — this
+//! is what keeps a full day over 1431 pairs tractable.
+
+use super::config::{L1Config, ReferenceProcess};
+use super::test::{b_side, decide, random_side, side_from_points, DistanceSamples};
+use crate::model::PairModel;
+use logdep_logstore::time::TimeRange;
+use logdep_logstore::{LogStore, Millis, SourceId};
+use logdep_stats::sampling::Sampler;
+use serde::{Deserialize, Serialize};
+
+/// Combined result of one pair over all slots.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PairOutcome {
+    /// First application (smaller id).
+    pub a: SourceId,
+    /// Second application.
+    pub b: SourceId,
+    /// Slots where both apps cleared `minlogs` (the paper's support s).
+    pub support: usize,
+    /// Slots where the test was positive in both directions (p).
+    pub positives: usize,
+    /// `positives / support` (0 when support is 0).
+    pub pr: f64,
+    /// Final decision under the thresholds.
+    pub dependent: bool,
+}
+
+/// Result of an L1 run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct L1Result {
+    /// Pairs declared dependent.
+    pub detected: PairModel,
+    /// Per-pair detail for every pair that had non-zero support.
+    pub outcomes: Vec<PairOutcome>,
+    /// Number of slots the range was split into (n).
+    pub n_slots: usize,
+}
+
+/// Runs technique L1 on `range`, considering the given candidate
+/// sources (pass `store.active_sources()` for "everything").
+pub fn run_l1(
+    store: &LogStore,
+    range: TimeRange,
+    sources: &[SourceId],
+    cfg: &L1Config,
+) -> crate::Result<L1Result> {
+    cfg.validate()?;
+    let slots = range.split(cfg.slot_ms);
+    run_l1_slots(store, &slots, sources, cfg)
+}
+
+/// Runs technique L1 over an explicit slot list — the entry point for
+/// the adaptive-slot variant (§5 of the paper; see [`super::adaptive`]).
+pub fn run_l1_slots(
+    store: &LogStore,
+    slots: &[TimeRange],
+    sources: &[SourceId],
+    cfg: &L1Config,
+) -> crate::Result<L1Result> {
+    cfg.validate()?;
+    let n_slots = slots.len();
+
+    // Pair accumulators, indexed by (i, j) position in `sources`.
+    let k = sources.len();
+    let mut support = vec![0u32; k * k];
+    let mut positives = vec![0u32; k * k];
+
+    for (slot_idx, slot) in slots.iter().enumerate() {
+        // Sources active enough in this slot.
+        let active: Vec<usize> = (0..k)
+            .filter(|&i| store.timeline(sources[i]).count_in(*slot) >= cfg.minlogs)
+            .collect();
+        if active.len() < 2 {
+            continue;
+        }
+
+        // Random-side samples per active source (role A), shared across
+        // partners. Seeded per (seed, slot, source) for reproducibility
+        // independent of iteration order.
+        let mut random_sides: Vec<Option<DistanceSamples>> = Vec::with_capacity(active.len());
+        for &i in &active {
+            let mut sampler =
+                Sampler::from_seed(cfg.seed ^ (slot_idx as u64) << 20 ^ sources[i].0 as u64);
+            let side = match cfg.reference {
+                ReferenceProcess::Homogeneous => {
+                    random_side(store.timeline(sources[i]), *slot, cfg, &mut sampler)
+                }
+                ReferenceProcess::LoadProportional => {
+                    // Sample comparison points from the *overall* log
+                    // process (jittered), so shared diurnal structure
+                    // cancels out of the comparison (§5).
+                    let pool = store.range(*slot);
+                    let picks: Vec<Millis> = (0..cfg.sample_size)
+                        .filter(|_| !pool.is_empty())
+                        .map(|_| {
+                            let r = &pool[sampler.index(pool.len())];
+                            Millis(r.client_ts.0 + (sampler.unit() * 4_000.0) as i64 - 2_000)
+                        })
+                        .collect();
+                    side_from_points(store.timeline(sources[i]), &picks, cfg)
+                }
+            };
+            random_sides.push(side);
+        }
+
+        for (ai, &i) in active.iter().enumerate() {
+            for (bi, &j) in active.iter().enumerate() {
+                if bi <= ai {
+                    continue;
+                }
+                support[i * k + j] += 1;
+                // Direction 1: is B attracted to A?
+                let pos_ab = match &random_sides[ai] {
+                    Some(r) => {
+                        let a_tl = store.timeline(sources[i]);
+                        let b_slot = store.timeline(sources[j]).slice_in(*slot);
+                        let mut sampler = Sampler::from_seed(
+                            cfg.seed
+                                ^ 0x0b51de
+                                ^ (slot_idx as u64) << 24
+                                ^ (sources[i].0 as u64) << 12
+                                ^ sources[j].0 as u64,
+                        );
+                        b_side(a_tl, b_slot, cfg, &mut sampler)
+                            .map(|b| decide(&b, r, cfg))
+                            .unwrap_or(false)
+                    }
+                    None => false,
+                };
+                // Direction 2: is A attracted to B? (only if needed)
+                let pos_both = pos_ab
+                    && match &random_sides[bi] {
+                        Some(r) => {
+                            let b_tl = store.timeline(sources[j]);
+                            let a_slot = store.timeline(sources[i]).slice_in(*slot);
+                            let mut sampler = Sampler::from_seed(
+                                cfg.seed
+                                    ^ 0x0b51de
+                                    ^ (slot_idx as u64) << 24
+                                    ^ (sources[j].0 as u64) << 12
+                                    ^ sources[i].0 as u64,
+                            );
+                            b_side(b_tl, a_slot, cfg, &mut sampler)
+                                .map(|b| decide(&b, r, cfg))
+                                .unwrap_or(false)
+                        }
+                        None => false,
+                    };
+                if pos_both {
+                    positives[i * k + j] += 1;
+                }
+            }
+        }
+    }
+
+    // Combine.
+    let mut detected = PairModel::new();
+    let mut outcomes = Vec::new();
+    let min_support = (cfg.th_s * n_slots as f64).ceil().max(1.0) as u32;
+    for i in 0..k {
+        for j in (i + 1)..k {
+            let s = support[i * k + j];
+            if s == 0 {
+                continue;
+            }
+            let p = positives[i * k + j];
+            let pr = p as f64 / s as f64;
+            let dependent = pr >= cfg.th_pr && s >= min_support;
+            if dependent {
+                detected.insert(sources[i], sources[j]);
+            }
+            outcomes.push(PairOutcome {
+                a: sources[i].min(sources[j]),
+                b: sources[i].max(sources[j]),
+                support: s as usize,
+                positives: p as usize,
+                pr,
+                dependent,
+            });
+        }
+    }
+
+    Ok(L1Result {
+        detected,
+        outcomes,
+        n_slots,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use logdep_logstore::time::MS_PER_HOUR;
+    use logdep_logstore::{LogRecord, Millis};
+
+    /// Builds a store with three apps: 0 and 1 interact (1 echoes 0
+    /// with a 40 ms lag), 2 is independent.
+    fn coupled_store(hours: i64) -> (LogStore, Vec<SourceId>) {
+        let mut store = LogStore::new();
+        let s0 = store.registry.source("App0");
+        let s1 = store.registry.source("App1");
+        let s2 = store.registry.source("App2");
+        for h in 0..hours {
+            let base = h * MS_PER_HOUR;
+            for i in 0..150 {
+                let t = base + i * 23_000 % MS_PER_HOUR;
+                store.push(LogRecord::minimal(s0, Millis(t)));
+                store.push(LogRecord::minimal(s1, Millis(t + 40)));
+                // App2 on its own deterministic grid.
+                store.push(LogRecord::minimal(
+                    s2,
+                    Millis(base + (i * 21_557 + 7_919) % MS_PER_HOUR),
+                ));
+            }
+        }
+        store.finalize();
+        (store, vec![s0, s1, s2])
+    }
+
+    fn cfg() -> L1Config {
+        L1Config {
+            minlogs: 50,
+            seed: 5,
+            ..L1Config::default()
+        }
+    }
+
+    #[test]
+    fn detects_the_coupled_pair_only() {
+        let (store, sources) = coupled_store(6);
+        let range = TimeRange::new(Millis(0), Millis(6 * MS_PER_HOUR));
+        let res = run_l1(&store, range, &sources, &cfg()).unwrap();
+        assert_eq!(res.n_slots, 6);
+        assert!(
+            res.detected.contains(sources[0], sources[1]),
+            "coupled pair missed: {:?}",
+            res.outcomes
+        );
+        assert!(!res.detected.contains(sources[0], sources[2]));
+        assert!(!res.detected.contains(sources[1], sources[2]));
+    }
+
+    #[test]
+    fn outcomes_report_support_and_pr() {
+        let (store, sources) = coupled_store(4);
+        let range = TimeRange::new(Millis(0), Millis(4 * MS_PER_HOUR));
+        let res = run_l1(&store, range, &sources, &cfg()).unwrap();
+        let out = res
+            .outcomes
+            .iter()
+            .find(|o| o.a == sources[0] && o.b == sources[1])
+            .expect("pair tested");
+        assert_eq!(out.support, 4);
+        assert!(out.pr > 0.9, "pr = {}", out.pr);
+        assert!(out.dependent);
+    }
+
+    #[test]
+    fn minlogs_filter_suppresses_sparse_apps() {
+        let (store, sources) = coupled_store(2);
+        let range = TimeRange::new(Millis(0), Millis(2 * MS_PER_HOUR));
+        let strict = L1Config {
+            minlogs: 10_000, // nobody qualifies
+            ..cfg()
+        };
+        let res = run_l1(&store, range, &sources, &strict).unwrap();
+        assert!(res.detected.is_empty());
+        assert!(res.outcomes.is_empty(), "no pair should have support");
+    }
+
+    #[test]
+    fn support_threshold_blocks_low_support_pairs() {
+        // Data in only 1 of 24 slots → support 1/24 < th_s = 0.3.
+        let (store, sources) = coupled_store(1);
+        let range = TimeRange::new(Millis(0), Millis(24 * MS_PER_HOUR));
+        let res = run_l1(&store, range, &sources, &cfg()).unwrap();
+        assert_eq!(res.n_slots, 24);
+        assert!(res.detected.is_empty(), "support gate failed");
+        let out = res
+            .outcomes
+            .iter()
+            .find(|o| o.a == sources[0] && o.b == sources[1])
+            .expect("tested once");
+        assert_eq!(out.support, 1);
+        assert!(!out.dependent);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let (store, sources) = coupled_store(3);
+        let range = TimeRange::new(Millis(0), Millis(3 * MS_PER_HOUR));
+        let r1 = run_l1(&store, range, &sources, &cfg()).unwrap();
+        let r2 = run_l1(&store, range, &sources, &cfg()).unwrap();
+        assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn invalid_config_is_rejected() {
+        let (store, sources) = coupled_store(1);
+        let range = TimeRange::new(Millis(0), Millis(MS_PER_HOUR));
+        let bad = L1Config {
+            th_pr: 2.0,
+            ..L1Config::default()
+        };
+        assert!(run_l1(&store, range, &sources, &bad).is_err());
+    }
+
+    #[test]
+    fn empty_sources_yield_empty_result() {
+        let (store, _) = coupled_store(1);
+        let range = TimeRange::new(Millis(0), Millis(MS_PER_HOUR));
+        let res = run_l1(&store, range, &[], &cfg()).unwrap();
+        assert!(res.detected.is_empty());
+        assert!(res.outcomes.is_empty());
+    }
+}

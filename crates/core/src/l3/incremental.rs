@@ -1,0 +1,181 @@
+//! Incremental (streaming) variant of technique L3.
+//!
+//! The batch runner ([`run_l3`]) re-scans a range; a deployment that
+//! tails the central log stream wants to *fold in* each batch as it
+//! arrives and keep a live model — the "around the clock" operation
+//! HUG needs (§1.2). Citation counts are monotone, so L3 is naturally
+//! incremental: feed records in any order, query at any time.
+//!
+//! [`run_l3`]: super::run_l3
+
+use super::algorithm::L3Config;
+use crate::model::AppServiceModel;
+use logdep_logstore::{LogRecord, SourceId};
+use logdep_textmatch::{MatchMode, Matcher, MatcherBuilder, StopPatterns};
+use std::collections::HashMap;
+
+/// A live L3 miner: feed log records, read the current model.
+#[derive(Debug)]
+pub struct IncrementalL3 {
+    matcher: Matcher,
+    stops: StopPatterns,
+    min_citations: u64,
+    citations: HashMap<(SourceId, usize), u64>,
+    scanned: usize,
+    stopped: usize,
+}
+
+impl IncrementalL3 {
+    /// Creates a miner for the given directory ids and configuration.
+    pub fn new(service_ids: &[String], cfg: &L3Config) -> Self {
+        let mut builder = MatcherBuilder::new();
+        builder.mode(if cfg.whole_word {
+            MatchMode::WholeWord
+        } else {
+            MatchMode::Substring
+        });
+        builder.add_all(service_ids.iter().map(String::as_str));
+        Self {
+            matcher: builder.build(),
+            stops: StopPatterns::new(&cfg.stop_patterns),
+            min_citations: cfg.min_citations,
+            citations: HashMap::new(),
+            scanned: 0,
+            stopped: 0,
+        }
+    }
+
+    /// Folds one record into the model. Returns the newly-crossed
+    /// dependencies, i.e. `(app, service)` pairs whose citation count
+    /// reached the threshold *with this record* — the live feed a
+    /// monitoring UI would subscribe to.
+    pub fn observe(&mut self, record: &LogRecord) -> Vec<(SourceId, usize)> {
+        if !self.stops.is_empty() && self.stops.matches(&record.text) {
+            self.stopped += 1;
+            return Vec::new();
+        }
+        self.scanned += 1;
+        let mut crossed = Vec::new();
+        for svc in self.matcher.matched_ids(&record.text) {
+            let count = self.citations.entry((record.source, svc)).or_insert(0);
+            *count += 1;
+            if *count == self.min_citations {
+                crossed.push((record.source, svc));
+            }
+        }
+        crossed
+    }
+
+    /// Folds a batch of records; returns all newly-crossed dependencies.
+    pub fn observe_batch<'a>(
+        &mut self,
+        records: impl IntoIterator<Item = &'a LogRecord>,
+    ) -> Vec<(SourceId, usize)> {
+        records.into_iter().flat_map(|r| self.observe(r)).collect()
+    }
+
+    /// The current dependency model.
+    pub fn model(&self) -> AppServiceModel {
+        self.citations
+            .iter()
+            .filter(|(_, &c)| c >= self.min_citations)
+            .map(|(&k, _)| k)
+            .collect()
+    }
+
+    /// Citation count for a specific pair.
+    pub fn citation_count(&self, app: SourceId, service_idx: usize) -> u64 {
+        self.citations
+            .get(&(app, service_idx))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Records scanned (after stop filtering) and stopped, respectively.
+    pub fn stats(&self) -> (usize, usize) {
+        (self.scanned, self.stopped)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::l3::run_l3;
+    use logdep_logstore::time::TimeRange;
+    use logdep_logstore::Millis;
+
+    fn ids() -> Vec<String> {
+        vec!["ALPHA".to_owned(), "BETA".to_owned()]
+    }
+
+    fn record(src: u32, t: i64, text: &str) -> LogRecord {
+        LogRecord::minimal(SourceId(src), Millis(t)).with_text(text)
+    }
+
+    #[test]
+    fn crossing_events_fire_exactly_once() {
+        let cfg = L3Config {
+            min_citations: 2,
+            ..L3Config::default()
+        };
+        let mut inc = IncrementalL3::new(&ids(), &cfg);
+        assert!(inc.observe(&record(0, 0, "calling ALPHA now")).is_empty());
+        let crossed = inc.observe(&record(0, 1, "ALPHA again"));
+        assert_eq!(crossed, vec![(SourceId(0), 0)]);
+        // Further citations do not re-fire.
+        assert!(inc.observe(&record(0, 2, "ALPHA thrice")).is_empty());
+        assert_eq!(inc.citation_count(SourceId(0), 0), 3);
+        assert!(inc.model().contains(SourceId(0), 0));
+    }
+
+    #[test]
+    fn stop_patterns_apply_incrementally() {
+        let cfg = L3Config::with_stop_patterns(["serving*"]);
+        let mut inc = IncrementalL3::new(&ids(), &cfg);
+        assert!(inc
+            .observe(&record(1, 0, "serving ALPHA request"))
+            .is_empty());
+        assert_eq!(inc.stats(), (0, 1));
+        assert!(!inc.model().contains(SourceId(1), 0));
+    }
+
+    #[test]
+    fn agrees_with_batch_runner_on_a_simulated_day() {
+        let out = logdep_sim::simulate(&logdep_sim::SimConfig::small_test(21));
+        let ids: Vec<String> = out.directory.ids().iter().map(|s| s.to_string()).collect();
+        let cfg = L3Config::with_stop_patterns(logdep_sim::textgen::standard_stop_patterns());
+        let range = TimeRange::new(Millis(0), Millis::from_days(2));
+        let batch = run_l3(&out.store, range, &ids, &cfg).expect("batch L3");
+
+        let mut inc = IncrementalL3::new(&ids, &cfg);
+        // Feed in two arbitrary chunks.
+        let records = out.store.range(range);
+        let mid = records.len() / 2;
+        inc.observe_batch(&records[..mid]);
+        inc.observe_batch(&records[mid..]);
+
+        assert_eq!(inc.model(), batch.detected);
+        let (scanned, stopped) = inc.stats();
+        assert_eq!(scanned, batch.scanned_logs);
+        assert_eq!(stopped, batch.stopped_logs);
+    }
+
+    #[test]
+    fn order_independence() {
+        let cfg = L3Config::default();
+        let recs: Vec<LogRecord> = (0..20)
+            .map(|i| {
+                record(
+                    i % 3,
+                    i as i64,
+                    if i % 2 == 0 { "hit ALPHA" } else { "hit BETA" },
+                )
+            })
+            .collect();
+        let mut fwd = IncrementalL3::new(&ids(), &cfg);
+        fwd.observe_batch(recs.iter());
+        let mut rev = IncrementalL3::new(&ids(), &cfg);
+        rev.observe_batch(recs.iter().rev());
+        assert_eq!(fwd.model(), rev.model());
+    }
+}

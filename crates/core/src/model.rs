@@ -1,0 +1,361 @@
+//! Dependency models and their comparison against a reference.
+//!
+//! The paper uses two model flavours (§4.3):
+//!
+//! * an undirected **pair model** over applications — "pairs of log
+//!   sources, which are said to be dependent if they are directly
+//!   interacting"; produced by techniques L1 and L2;
+//! * an **application → service model** — pairs of an application and a
+//!   service-directory entry it uses; produced by technique L3.
+//!
+//! [`diff_pairs`] / [`diff_app_service`] compute the true/false
+//! positive/negative partition against a reference model, yielding the
+//! per-day counts plotted in Figures 5, 6 and 8.
+
+use logdep_logstore::{NameRegistry, SourceId};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// An undirected dependency model over applications. Pairs are stored
+/// normalized (`a < b` by id) and self-pairs are rejected.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct PairModel {
+    pairs: BTreeSet<(SourceId, SourceId)>,
+}
+
+impl PairModel {
+    /// Creates an empty model.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts the unordered pair `{a, b}`. Self-pairs are ignored.
+    /// Returns whether the pair was newly inserted.
+    pub fn insert(&mut self, a: SourceId, b: SourceId) -> bool {
+        if a == b {
+            return false;
+        }
+        self.pairs.insert(normalize(a, b))
+    }
+
+    /// Membership test, order-insensitive.
+    pub fn contains(&self, a: SourceId, b: SourceId) -> bool {
+        a != b && self.pairs.contains(&normalize(a, b))
+    }
+
+    /// Number of pairs.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// True when no pair is present.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Iterates normalized pairs in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = (SourceId, SourceId)> + '_ {
+        self.pairs.iter().copied()
+    }
+
+    /// Builds a model from `(name, name)` pairs resolved against a
+    /// registry. Unresolvable names yield an error — a reference model
+    /// naming an application that never logged is a configuration
+    /// problem the caller must see.
+    pub fn from_names<'a>(
+        registry: &NameRegistry,
+        names: impl IntoIterator<Item = (&'a str, &'a str)>,
+    ) -> crate::Result<Self> {
+        let mut model = Self::new();
+        for (a, b) in names {
+            let ia = registry
+                .find_source(a)
+                .ok_or_else(|| crate::MineError::UnknownName(a.to_owned()))?;
+            let ib = registry
+                .find_source(b)
+                .ok_or_else(|| crate::MineError::UnknownName(b.to_owned()))?;
+            model.insert(ia, ib);
+        }
+        Ok(model)
+    }
+}
+
+impl FromIterator<(SourceId, SourceId)> for PairModel {
+    fn from_iter<I: IntoIterator<Item = (SourceId, SourceId)>>(iter: I) -> Self {
+        let mut m = Self::new();
+        for (a, b) in iter {
+            m.insert(a, b);
+        }
+        m
+    }
+}
+
+fn normalize(a: SourceId, b: SourceId) -> (SourceId, SourceId) {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+/// A directed application → service dependency model. Services are
+/// identified by their index in the service directory used for mining.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct AppServiceModel {
+    deps: BTreeSet<(SourceId, usize)>,
+}
+
+impl AppServiceModel {
+    /// Creates an empty model.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts a dependency of `app` on service `service_idx`.
+    pub fn insert(&mut self, app: SourceId, service_idx: usize) -> bool {
+        self.deps.insert((app, service_idx))
+    }
+
+    /// Membership test.
+    pub fn contains(&self, app: SourceId, service_idx: usize) -> bool {
+        self.deps.contains(&(app, service_idx))
+    }
+
+    /// Number of dependencies.
+    pub fn len(&self) -> usize {
+        self.deps.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.deps.is_empty()
+    }
+
+    /// Iterates dependencies in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = (SourceId, usize)> + '_ {
+        self.deps.iter().copied()
+    }
+
+    /// Builds a model from `(app name, service id)` pairs, resolving app
+    /// names against the registry and service ids against the directory
+    /// id list used for mining.
+    pub fn from_names<'a>(
+        registry: &NameRegistry,
+        service_ids: &[String],
+        names: impl IntoIterator<Item = (&'a str, &'a str)>,
+    ) -> crate::Result<Self> {
+        let mut model = Self::new();
+        for (app, svc) in names {
+            let ia = registry
+                .find_source(app)
+                .ok_or_else(|| crate::MineError::UnknownName(app.to_owned()))?;
+            let is = service_ids
+                .iter()
+                .position(|s| s == svc)
+                .ok_or_else(|| crate::MineError::UnknownName(svc.to_owned()))?;
+            model.insert(ia, is);
+        }
+        Ok(model)
+    }
+}
+
+impl FromIterator<(SourceId, usize)> for AppServiceModel {
+    fn from_iter<I: IntoIterator<Item = (SourceId, usize)>>(iter: I) -> Self {
+        let mut m = Self::new();
+        for (a, s) in iter {
+            m.insert(a, s);
+        }
+        m
+    }
+}
+
+/// The outcome of comparing a detected model against a reference.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Diff<T: Ord> {
+    /// Detected and in the reference.
+    pub true_pos: Vec<T>,
+    /// Detected but not in the reference.
+    pub false_pos: Vec<T>,
+    /// In the reference but not detected.
+    pub false_neg: Vec<T>,
+}
+
+impl<T: Ord> Default for Diff<T> {
+    fn default() -> Self {
+        Self {
+            true_pos: Vec::new(),
+            false_pos: Vec::new(),
+            false_neg: Vec::new(),
+        }
+    }
+}
+
+impl<T: Ord> Diff<T> {
+    /// True-positive count.
+    pub fn tp(&self) -> usize {
+        self.true_pos.len()
+    }
+
+    /// False-positive count.
+    pub fn fp(&self) -> usize {
+        self.false_pos.len()
+    }
+
+    /// False-negative count.
+    pub fn fn_(&self) -> usize {
+        self.false_neg.len()
+    }
+
+    /// Ratio of true positives among all positive decisions — the
+    /// number annotated on Figures 5/6/8 of the paper. Zero when there
+    /// were no positives.
+    pub fn true_positive_ratio(&self) -> f64 {
+        let pos = self.tp() + self.fp();
+        if pos == 0 {
+            0.0
+        } else {
+            self.tp() as f64 / pos as f64
+        }
+    }
+
+    /// Recall against the reference.
+    pub fn recall(&self) -> f64 {
+        let refs = self.tp() + self.fn_();
+        if refs == 0 {
+            0.0
+        } else {
+            self.tp() as f64 / refs as f64
+        }
+    }
+}
+
+/// Compares a detected pair model against a reference pair model.
+pub fn diff_pairs(detected: &PairModel, reference: &PairModel) -> Diff<(SourceId, SourceId)> {
+    let mut d = Diff::default();
+    for p in detected.iter() {
+        if reference.contains(p.0, p.1) {
+            d.true_pos.push(p);
+        } else {
+            d.false_pos.push(p);
+        }
+    }
+    for p in reference.iter() {
+        if !detected.contains(p.0, p.1) {
+            d.false_neg.push(p);
+        }
+    }
+    d
+}
+
+/// Compares a detected app→service model against a reference.
+pub fn diff_app_service(
+    detected: &AppServiceModel,
+    reference: &AppServiceModel,
+) -> Diff<(SourceId, usize)> {
+    let mut d = Diff::default();
+    for p in detected.iter() {
+        if reference.contains(p.0, p.1) {
+            d.true_pos.push(p);
+        } else {
+            d.false_pos.push(p);
+        }
+    }
+    for p in reference.iter() {
+        if !detected.contains(p.0, p.1) {
+            d.false_neg.push(p);
+        }
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(i: u32) -> SourceId {
+        SourceId(i)
+    }
+
+    #[test]
+    fn pair_model_normalizes_and_dedups() {
+        let mut m = PairModel::new();
+        assert!(m.insert(s(2), s(1)));
+        assert!(!m.insert(s(1), s(2)), "duplicate in other order");
+        assert!(!m.insert(s(3), s(3)), "self pair rejected");
+        assert_eq!(m.len(), 1);
+        assert!(m.contains(s(1), s(2)));
+        assert!(m.contains(s(2), s(1)));
+        assert!(!m.contains(s(1), s(1)));
+        let pairs: Vec<_> = m.iter().collect();
+        assert_eq!(pairs, vec![(s(1), s(2))]);
+    }
+
+    #[test]
+    fn pair_model_from_names() {
+        let mut reg = NameRegistry::new();
+        reg.source("A");
+        reg.source("B");
+        let m = PairModel::from_names(&reg, [("B", "A")]).unwrap();
+        assert_eq!(m.len(), 1);
+        assert!(PairModel::from_names(&reg, [("A", "Zed")]).is_err());
+    }
+
+    #[test]
+    fn app_service_model_basics() {
+        let mut m = AppServiceModel::new();
+        assert!(m.insert(s(0), 3));
+        assert!(!m.insert(s(0), 3));
+        assert!(m.contains(s(0), 3));
+        assert!(!m.contains(s(0), 4));
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn app_service_from_names() {
+        let mut reg = NameRegistry::new();
+        reg.source("App");
+        let ids = vec!["SVC0".to_owned(), "SVC1".to_owned()];
+        let m = AppServiceModel::from_names(&reg, &ids, [("App", "SVC1")]).unwrap();
+        assert!(m.contains(s(0), 1));
+        assert!(AppServiceModel::from_names(&reg, &ids, [("App", "NOPE")]).is_err());
+        assert!(AppServiceModel::from_names(&reg, &ids, [("Ghost", "SVC0")]).is_err());
+    }
+
+    #[test]
+    fn diff_partitions_correctly() {
+        let reference: PairModel = [(s(1), s(2)), (s(1), s(3)), (s(2), s(3))]
+            .into_iter()
+            .collect();
+        let detected: PairModel = [(s(1), s(2)), (s(1), s(4))].into_iter().collect();
+        let d = diff_pairs(&detected, &reference);
+        assert_eq!(d.tp(), 1);
+        assert_eq!(d.fp(), 1);
+        assert_eq!(d.fn_(), 2);
+        assert_eq!(d.true_positive_ratio(), 0.5);
+        assert!((d.recall() - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(d.false_pos, vec![(s(1), s(4))]);
+    }
+
+    #[test]
+    fn diff_app_service_partitions() {
+        let reference: AppServiceModel = [(s(0), 0), (s(0), 1)].into_iter().collect();
+        let detected: AppServiceModel = [(s(0), 1), (s(1), 0)].into_iter().collect();
+        let d = diff_app_service(&detected, &reference);
+        assert_eq!((d.tp(), d.fp(), d.fn_()), (1, 1, 1));
+    }
+
+    #[test]
+    fn empty_diffs() {
+        let d = diff_pairs(&PairModel::new(), &PairModel::new());
+        assert_eq!(d.true_positive_ratio(), 0.0);
+        assert_eq!(d.recall(), 0.0);
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let m: PairModel = [(s(5), s(4)), (s(4), s(5))].into_iter().collect();
+        assert_eq!(m.len(), 1);
+        let m: AppServiceModel = [(s(0), 1)].into_iter().collect();
+        assert_eq!(m.len(), 1);
+    }
+}

@@ -1,0 +1,278 @@
+//! TSV (tab-separated) serialization of log streams.
+//!
+//! A deliberately simple line format so example applications can persist
+//! and re-ingest simulated weeks without a heavyweight format dependency:
+//!
+//! ```text
+//! client_ts \t server_ts \t source \t user \t host \t severity \t text
+//! ```
+//!
+//! `user`/`host` are `-` when absent; tabs and newlines inside `text`
+//! are escaped (`\t`, `\n`, and `\\` for a backslash).
+
+use crate::record::{LogRecord, Severity};
+use crate::registry::NameRegistry;
+use crate::store::LogStore;
+use crate::time::Millis;
+use std::io::{self, BufRead, Write};
+
+/// Escapes text for a single TSV field.
+fn escape(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for c in text.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\t' => out.push_str("\\t"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Reverses [`escape`].
+fn unescape(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    let mut chars = text.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('t') => out.push('\t'),
+                Some('n') => out.push('\n'),
+                Some('r') => out.push('\r'),
+                Some('\\') => out.push('\\'),
+                Some(other) => {
+                    out.push('\\');
+                    out.push(other);
+                }
+                None => out.push('\\'),
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// Writes one record as a TSV line (including the trailing newline).
+pub fn write_record<W: Write>(
+    w: &mut W,
+    record: &LogRecord,
+    registry: &NameRegistry,
+) -> io::Result<()> {
+    let user = record
+        .user
+        .and_then(|u| registry.users.name(u.0))
+        .unwrap_or("-");
+    let host = record
+        .host
+        .and_then(|h| registry.hosts.name(h.0))
+        .unwrap_or("-");
+    writeln!(
+        w,
+        "{}\t{}\t{}\t{}\t{}\t{}\t{}",
+        record.client_ts.as_millis(),
+        record.server_ts.as_millis(),
+        escape(registry.source_name(record.source)),
+        escape(user),
+        escape(host),
+        record.severity.tag(),
+        escape(&record.text),
+    )
+}
+
+/// Writes a whole store as TSV.
+pub fn write_store<W: Write>(w: &mut W, store: &LogStore) -> io::Result<()> {
+    for record in store.records() {
+        write_record(w, record, &store.registry)?;
+    }
+    Ok(())
+}
+
+/// Errors from parsing a TSV log line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// The line did not have the expected 7 fields.
+    FieldCount(usize),
+    /// A timestamp field was not an integer.
+    BadTimestamp(String),
+    /// The severity tag was unknown.
+    BadSeverity(String),
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::FieldCount(n) => write!(f, "expected 7 TSV fields, got {n}"),
+            ParseError::BadTimestamp(s) => write!(f, "bad timestamp: {s:?}"),
+            ParseError::BadSeverity(s) => write!(f, "bad severity tag: {s:?}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses one TSV line into a record, interning names into `registry`.
+pub fn parse_record(line: &str, registry: &mut NameRegistry) -> Result<LogRecord, ParseError> {
+    let fields: Vec<&str> = line.splitn(7, '\t').collect();
+    if fields.len() != 7 {
+        return Err(ParseError::FieldCount(fields.len()));
+    }
+    let client_ts: i64 = fields[0]
+        .parse()
+        .map_err(|_| ParseError::BadTimestamp(fields[0].to_owned()))?;
+    let server_ts: i64 = fields[1]
+        .parse()
+        .map_err(|_| ParseError::BadTimestamp(fields[1].to_owned()))?;
+    let source = registry.source(&unescape(fields[2]));
+    let user = match fields[3] {
+        "-" => None,
+        u => Some(registry.user(&unescape(u))),
+    };
+    let host = match fields[4] {
+        "-" => None,
+        h => Some(registry.host(&unescape(h))),
+    };
+    let severity = Severity::from_tag(fields[5])
+        .ok_or_else(|| ParseError::BadSeverity(fields[5].to_owned()))?;
+    Ok(LogRecord {
+        client_ts: Millis(client_ts),
+        server_ts: Millis(server_ts),
+        source,
+        user,
+        host,
+        severity,
+        text: unescape(fields[6]),
+    })
+}
+
+/// Reads a whole TSV stream into a fresh (finalized) store.
+///
+/// Lines that fail to parse are returned with their 1-based line number;
+/// parsing continues past them, mirroring how a real consolidation job
+/// must tolerate occasional corrupt lines.
+pub fn read_store<R: BufRead>(r: R) -> io::Result<(LogStore, Vec<(usize, ParseError)>)> {
+    let mut store = LogStore::new();
+    let mut errors = Vec::new();
+    for (i, line) in r.lines().enumerate() {
+        let line = line?;
+        if line.is_empty() {
+            continue;
+        }
+        match parse_record(&line, &mut store.registry) {
+            Ok(rec) => store.push(rec),
+            Err(e) => errors.push((i + 1, e)),
+        }
+    }
+    store.finalize();
+    Ok((store, errors))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::SourceId;
+
+    fn sample_store() -> LogStore {
+        let mut s = LogStore::new();
+        let app_a = s.registry.source("AppA");
+        let app_b = s.registry.source("AppB");
+        let user = s.registry.user("alice");
+        let host = s.registry.host("ws-001");
+        s.push(
+            LogRecord::minimal(app_a, Millis(100))
+                .with_user(user)
+                .with_host(host)
+                .with_text("Invoke externalService [fct [notify]]"),
+        );
+        s.push(
+            LogRecord::minimal(app_b, Millis(50))
+                .with_severity(Severity::Error)
+                .with_text("weird\ttext with\nnewline and \\backslash"),
+        );
+        s.finalize();
+        s
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let original = sample_store();
+        let mut buf = Vec::new();
+        write_store(&mut buf, &original).unwrap();
+        let (parsed, errors) = read_store(buf.as_slice()).unwrap();
+        assert!(errors.is_empty());
+        assert_eq!(parsed.len(), original.len());
+        for (a, b) in original.records().iter().zip(parsed.records()) {
+            assert_eq!(a.client_ts, b.client_ts);
+            assert_eq!(a.severity, b.severity);
+            assert_eq!(a.text, b.text);
+            assert_eq!(
+                original.registry.source_name(a.source),
+                parsed.registry.source_name(b.source)
+            );
+        }
+    }
+
+    #[test]
+    fn escape_round_trip() {
+        for s in ["plain", "tab\there", "line\nbreak", "back\\slash", "\r", ""] {
+            assert_eq!(unescape(&escape(s)), s);
+        }
+    }
+
+    #[test]
+    fn unescape_tolerates_trailing_backslash() {
+        assert_eq!(unescape("abc\\"), "abc\\");
+        assert_eq!(unescape("a\\x"), "a\\x");
+    }
+
+    #[test]
+    fn parse_rejects_malformed_lines() {
+        let mut reg = NameRegistry::new();
+        assert!(matches!(
+            parse_record("only\tfour\tfields\there", &mut reg),
+            Err(ParseError::FieldCount(4))
+        ));
+        assert!(matches!(
+            parse_record("x\t2\tsrc\t-\t-\tINF\ttext", &mut reg),
+            Err(ParseError::BadTimestamp(_))
+        ));
+        assert!(matches!(
+            parse_record("1\t2\tsrc\t-\t-\tZZZ\ttext", &mut reg),
+            Err(ParseError::BadSeverity(_))
+        ));
+    }
+
+    #[test]
+    fn read_store_collects_errors_and_continues() {
+        let data = "1\t1\tA\t-\t-\tINF\tok\nbroken line\n2\t2\tB\t-\t-\tINF\talso ok\n";
+        let (store, errors) = read_store(data.as_bytes()).unwrap();
+        assert_eq!(store.len(), 2);
+        assert_eq!(errors.len(), 1);
+        assert_eq!(errors[0].0, 2, "1-based line number");
+    }
+
+    #[test]
+    fn empty_lines_skipped() {
+        let data = "\n1\t1\tA\t-\t-\tINF\tok\n\n";
+        let (store, errors) = read_store(data.as_bytes()).unwrap();
+        assert_eq!(store.len(), 1);
+        assert!(errors.is_empty());
+        assert_eq!(store.registry.find_source("A"), Some(SourceId(0)));
+    }
+
+    #[test]
+    fn missing_user_host_round_trip() {
+        let original = sample_store();
+        let mut buf = Vec::new();
+        write_store(&mut buf, &original).unwrap();
+        let (parsed, _) = read_store(buf.as_slice()).unwrap();
+        // AppB record (earliest, sorts first) had no user/host.
+        let r = &parsed.records()[0];
+        assert!(r.user.is_none() && r.host.is_none());
+        // AppA record kept them.
+        let r = &parsed.records()[1];
+        assert!(r.user.is_some() && r.host.is_some());
+    }
+}

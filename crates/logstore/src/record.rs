@@ -1,0 +1,171 @@
+//! The log record: the unit of information every technique mines.
+
+use crate::registry::{HostId, SourceId, UserId};
+use crate::time::Millis;
+use serde::{Deserialize, Serialize};
+
+/// Log severity, in syslog-like ascending order of urgency.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub enum Severity {
+    /// Debug/trace detail.
+    Debug,
+    /// Routine operational message (the overwhelming majority).
+    #[default]
+    Info,
+    /// Something unusual but non-fatal.
+    Warning,
+    /// An error, e.g. a failed invocation or an exception trace.
+    Error,
+}
+
+impl Severity {
+    /// Short uppercase tag used by the TSV codec.
+    pub fn tag(self) -> &'static str {
+        match self {
+            Severity::Debug => "DBG",
+            Severity::Info => "INF",
+            Severity::Warning => "WRN",
+            Severity::Error => "ERR",
+        }
+    }
+
+    /// Parses the codec tag back.
+    pub fn from_tag(tag: &str) -> Option<Self> {
+        match tag {
+            "DBG" => Some(Severity::Debug),
+            "INF" => Some(Severity::Info),
+            "WRN" => Some(Severity::Warning),
+            "ERR" => Some(Severity::Error),
+            _ => None,
+        }
+    }
+}
+
+/// One log entry as stored by the centralized logging system.
+///
+/// Mirrors the HUG schema described in §4.2 of the paper: a client-side
+/// creation timestamp (subject to clock skew and the one used by the
+/// miners), a server-side reception timestamp (subject to buffering delay
+/// and therefore *not* used), the structured source/user/host fields, and
+/// the unstructured message text.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LogRecord {
+    /// Timestamp assigned by the emitting client, 1 ms resolution.
+    pub client_ts: Millis,
+    /// Timestamp assigned by the log server on reception.
+    pub server_ts: Millis,
+    /// The emitting application or module.
+    pub source: SourceId,
+    /// The user at the origin of the transaction, when known.
+    pub user: Option<UserId>,
+    /// The client machine at the origin of the transaction, when known.
+    pub host: Option<HostId>,
+    /// Severity class.
+    pub severity: Severity,
+    /// Unstructured message text.
+    pub text: String,
+}
+
+impl LogRecord {
+    /// Builds a minimal record: source + client timestamp, everything
+    /// else defaulted. The server timestamp is set equal to the client's.
+    pub fn minimal(source: SourceId, client_ts: Millis) -> Self {
+        Self {
+            client_ts,
+            server_ts: client_ts,
+            source,
+            user: None,
+            host: None,
+            severity: Severity::Info,
+            text: String::new(),
+        }
+    }
+
+    /// Builder-style setter for the user.
+    pub fn with_user(mut self, user: UserId) -> Self {
+        self.user = Some(user);
+        self
+    }
+
+    /// Builder-style setter for the host.
+    pub fn with_host(mut self, host: HostId) -> Self {
+        self.host = Some(host);
+        self
+    }
+
+    /// Builder-style setter for the message text.
+    pub fn with_text(mut self, text: impl Into<String>) -> Self {
+        self.text = text.into();
+        self
+    }
+
+    /// Builder-style setter for the severity.
+    pub fn with_severity(mut self, severity: Severity) -> Self {
+        self.severity = severity;
+        self
+    }
+
+    /// Builder-style setter for the server timestamp.
+    pub fn with_server_ts(mut self, ts: Millis) -> Self {
+        self.server_ts = ts;
+        self
+    }
+
+    /// Whether this record carries the session-identifying fields
+    /// technique L2 needs.
+    pub fn has_session_info(&self) -> bool {
+        self.user.is_some() && self.host.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_tags_round_trip() {
+        for s in [
+            Severity::Debug,
+            Severity::Info,
+            Severity::Warning,
+            Severity::Error,
+        ] {
+            assert_eq!(Severity::from_tag(s.tag()), Some(s));
+        }
+        assert_eq!(Severity::from_tag("XXX"), None);
+    }
+
+    #[test]
+    fn severity_ordering() {
+        assert!(Severity::Debug < Severity::Info);
+        assert!(Severity::Info < Severity::Warning);
+        assert!(Severity::Warning < Severity::Error);
+        assert_eq!(Severity::default(), Severity::Info);
+    }
+
+    #[test]
+    fn builder_chain() {
+        let r = LogRecord::minimal(SourceId(3), Millis(42))
+            .with_user(UserId(1))
+            .with_host(HostId(2))
+            .with_text("Invoke externalService [fct [notify]]")
+            .with_severity(Severity::Warning)
+            .with_server_ts(Millis(45));
+        assert_eq!(r.source, SourceId(3));
+        assert_eq!(r.client_ts, Millis(42));
+        assert_eq!(r.server_ts, Millis(45));
+        assert!(r.has_session_info());
+        assert_eq!(r.severity, Severity::Warning);
+        assert!(r.text.contains("notify"));
+    }
+
+    #[test]
+    fn minimal_record_lacks_session_info() {
+        let r = LogRecord::minimal(SourceId(0), Millis(0));
+        assert!(!r.has_session_info());
+        let r = r.with_user(UserId(0));
+        assert!(!r.has_session_info(), "host still missing");
+    }
+}

@@ -1,0 +1,316 @@
+//! The in-memory log store.
+//!
+//! Append records in any order, [`LogStore::finalize`] once, then query.
+//! Records are kept sorted by client timestamp (the timestamp the paper's
+//! miners use, §4.2) with per-source timestamp indexes built lazily on
+//! finalize. All range queries are binary searches returning slices —
+//! no copying on the hot mining paths.
+
+use crate::record::LogRecord;
+use crate::registry::{NameRegistry, SourceId};
+use crate::time::{Millis, TimeRange};
+use crate::timeline::Timeline;
+
+/// An in-memory, time-sorted collection of log records plus the name
+/// registry they were interned against.
+#[derive(Debug, Clone, Default)]
+pub struct LogStore {
+    records: Vec<LogRecord>,
+    /// Per-source sorted client timestamps; built by [`LogStore::finalize`].
+    per_source: Vec<Timeline>,
+    /// Name registry shared with producers.
+    pub registry: NameRegistry,
+    finalized: bool,
+}
+
+impl LogStore {
+    /// Creates an empty store with a fresh registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty store that adopts an existing registry.
+    pub fn with_registry(registry: NameRegistry) -> Self {
+        Self {
+            registry,
+            ..Self::default()
+        }
+    }
+
+    /// Appends one record. Invalidates any previous finalization.
+    pub fn push(&mut self, record: LogRecord) {
+        self.finalized = false;
+        self.records.push(record);
+    }
+
+    /// Appends many records.
+    pub fn extend(&mut self, records: impl IntoIterator<Item = LogRecord>) {
+        self.finalized = false;
+        self.records.extend(records);
+    }
+
+    /// Sorts by client timestamp and (re)builds the per-source indexes.
+    /// Idempotent; must be called before any query.
+    pub fn finalize(&mut self) {
+        if self.finalized {
+            return;
+        }
+        self.records
+            .sort_by_key(|r| (r.client_ts, r.source, r.server_ts));
+        let n_sources = self.registry.source_count().max(
+            self.records
+                .iter()
+                .map(|r| r.source.index() + 1)
+                .max()
+                .unwrap_or(0),
+        );
+        let mut buckets: Vec<Vec<Millis>> = vec![Vec::new(); n_sources];
+        for r in &self.records {
+            buckets[r.source.index()].push(r.client_ts);
+        }
+        self.per_source = buckets.into_iter().map(Timeline::from_sorted).collect();
+        self.finalized = true;
+    }
+
+    /// Total number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when the store holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// All records, sorted by client timestamp. Panics if not finalized.
+    pub fn records(&self) -> &[LogRecord] {
+        self.assert_finalized();
+        &self.records
+    }
+
+    /// Records whose client timestamp lies in `range`.
+    pub fn range(&self, range: TimeRange) -> &[LogRecord] {
+        self.assert_finalized();
+        let lo = self.records.partition_point(|r| r.client_ts < range.start);
+        let hi = self.records.partition_point(|r| r.client_ts < range.end);
+        &self.records[lo..hi]
+    }
+
+    /// The sorted timestamp timeline of one source (empty if the source
+    /// has no records).
+    pub fn timeline(&self, source: SourceId) -> &Timeline {
+        self.assert_finalized();
+        static EMPTY: Timeline = Timeline::empty();
+        self.per_source.get(source.index()).unwrap_or(&EMPTY)
+    }
+
+    /// Number of logs of `source` within `range`.
+    pub fn count_in_range(&self, source: SourceId, range: TimeRange) -> usize {
+        self.timeline(source).count_in(range)
+    }
+
+    /// Sources that emitted at least one record, ascending by id.
+    pub fn active_sources(&self) -> Vec<SourceId> {
+        self.assert_finalized();
+        (0..self.per_source.len())
+            .filter(|&i| !self.per_source[i].is_empty())
+            .map(|i| SourceId(i as u32))
+            .collect()
+    }
+
+    /// Per-day record counts over the closed day range covered by the
+    /// store (Table 1 of the paper).
+    pub fn counts_per_day(&self) -> Vec<(i64, usize)> {
+        self.assert_finalized();
+        if self.records.is_empty() {
+            return Vec::new();
+        }
+        let first = self
+            .records
+            .first()
+            .expect("non-empty")
+            .client_ts
+            .day_index();
+        let last = self
+            .records
+            .last()
+            .expect("non-empty")
+            .client_ts
+            .day_index();
+        (first..=last)
+            .map(|d| (d, self.range(TimeRange::day(d)).len()))
+            .collect()
+    }
+
+    /// Merges another store into this one, translating the other
+    /// store's interned ids into this registry — the *consolidation*
+    /// step of §5 ("collection of logging data from decentralized
+    /// storage locations"). Invalidates finalization.
+    pub fn merge(&mut self, other: &LogStore) {
+        self.finalized = false;
+        // Dense translation tables, filled lazily.
+        let mut src_map: Vec<Option<SourceId>> = vec![None; other.registry.sources.len()];
+        let mut user_map: Vec<Option<crate::registry::UserId>> =
+            vec![None; other.registry.users.len()];
+        let mut host_map: Vec<Option<crate::registry::HostId>> =
+            vec![None; other.registry.hosts.len()];
+        for r in &other.records {
+            let source = *src_map[r.source.index()]
+                .get_or_insert_with(|| self.registry.source(other.registry.source_name(r.source)));
+            let user = r.user.map(|u| {
+                *user_map[u.index()].get_or_insert_with(|| {
+                    self.registry
+                        .user(other.registry.users.name(u.0).unwrap_or("<unknown-user>"))
+                })
+            });
+            let host = r.host.map(|h| {
+                *host_map[h.index()].get_or_insert_with(|| {
+                    self.registry
+                        .host(other.registry.hosts.name(h.0).unwrap_or("<unknown-host>"))
+                })
+            });
+            self.records.push(LogRecord {
+                source,
+                user,
+                host,
+                ..r.clone()
+            });
+        }
+    }
+
+    fn assert_finalized(&self) {
+        assert!(self.finalized, "LogStore: call finalize() before querying");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::LogRecord;
+
+    fn store_with(times: &[(u32, i64)]) -> LogStore {
+        let mut s = LogStore::new();
+        for &(src, t) in times {
+            s.push(LogRecord::minimal(SourceId(src), Millis(t)));
+        }
+        s.finalize();
+        s
+    }
+
+    #[test]
+    fn finalize_sorts_records() {
+        let s = store_with(&[(0, 30), (1, 10), (0, 20)]);
+        let ts: Vec<i64> = s.records().iter().map(|r| r.client_ts.0).collect();
+        assert_eq!(ts, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn range_query_half_open() {
+        let s = store_with(&[(0, 10), (0, 20), (0, 30), (0, 40)]);
+        let r = s.range(TimeRange::new(Millis(20), Millis(40)));
+        let ts: Vec<i64> = r.iter().map(|x| x.client_ts.0).collect();
+        assert_eq!(ts, vec![20, 30], "end must be exclusive");
+        assert!(s.range(TimeRange::new(Millis(100), Millis(200))).is_empty());
+    }
+
+    #[test]
+    fn per_source_timelines() {
+        let s = store_with(&[(0, 10), (1, 15), (0, 30), (2, 5)]);
+        assert_eq!(s.timeline(SourceId(0)).len(), 2);
+        assert_eq!(s.timeline(SourceId(1)).len(), 1);
+        assert_eq!(s.timeline(SourceId(2)).len(), 1);
+        assert_eq!(s.timeline(SourceId(9)).len(), 0, "unknown source is empty");
+        assert_eq!(
+            s.active_sources(),
+            vec![SourceId(0), SourceId(1), SourceId(2)]
+        );
+    }
+
+    #[test]
+    fn count_in_range_uses_timeline() {
+        let s = store_with(&[(0, 10), (0, 20), (0, 30)]);
+        assert_eq!(
+            s.count_in_range(SourceId(0), TimeRange::new(Millis(10), Millis(30))),
+            2
+        );
+    }
+
+    #[test]
+    fn counts_per_day_covers_gaps() {
+        use crate::time::MS_PER_DAY;
+        let s = store_with(&[(0, 0), (0, 1), (0, 2 * MS_PER_DAY + 5)]);
+        let days = s.counts_per_day();
+        assert_eq!(days, vec![(0, 2), (1, 0), (2, 1)]);
+    }
+
+    #[test]
+    fn refinalization_after_push() {
+        let mut s = store_with(&[(0, 10)]);
+        s.push(LogRecord::minimal(SourceId(0), Millis(5)));
+        s.finalize();
+        assert_eq!(s.records()[0].client_ts, Millis(5));
+        assert_eq!(s.timeline(SourceId(0)).len(), 2);
+    }
+
+    #[test]
+    fn merge_translates_registries() {
+        let mut a = LogStore::new();
+        let app_x = a.registry.source("X");
+        a.push(LogRecord::minimal(app_x, Millis(10)));
+
+        let mut b = LogStore::new();
+        let app_y = b.registry.source("Y"); // Y gets id 0 in b...
+        let app_x2 = b.registry.source("X"); // ...and X id 1
+        let u = b.registry.user("alice");
+        let h = b.registry.host("ws-1");
+        b.push(
+            LogRecord::minimal(app_y, Millis(5))
+                .with_user(u)
+                .with_host(h),
+        );
+        b.push(LogRecord::minimal(app_x2, Millis(20)));
+        b.finalize();
+
+        a.merge(&b);
+        a.finalize();
+        assert_eq!(a.len(), 3);
+        // X must unify: both X records share one source id in `a`.
+        let x = a.registry.find_source("X").expect("X registered");
+        assert_eq!(a.timeline(x).len(), 2);
+        let y = a.registry.find_source("Y").expect("Y registered");
+        assert_eq!(a.timeline(y).len(), 1);
+        // User/host names survive the translation.
+        let first = &a.records()[0];
+        assert_eq!(first.client_ts, Millis(5));
+        let uname = a.registry.users.name(first.user.expect("user").0);
+        assert_eq!(uname, Some("alice"));
+    }
+
+    #[test]
+    fn merge_empty_stores() {
+        let mut a = LogStore::new();
+        let mut b = LogStore::new();
+        b.finalize();
+        a.merge(&b);
+        a.finalize();
+        assert!(a.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "finalize")]
+    fn querying_unfinalized_panics() {
+        let mut s = LogStore::new();
+        s.push(LogRecord::minimal(SourceId(0), Millis(1)));
+        let _ = s.records();
+    }
+
+    #[test]
+    fn empty_store() {
+        let mut s = LogStore::new();
+        s.finalize();
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+        assert!(s.counts_per_day().is_empty());
+        assert!(s.active_sources().is_empty());
+    }
+}

@@ -1,0 +1,246 @@
+//! Millisecond timestamps and calendar helpers.
+//!
+//! All simulation and mining code works in milliseconds relative to a
+//! *scenario epoch* — midnight at the start of the observation period
+//! (the paper's week starts Tuesday 2005-12-06). Keeping time as a plain
+//! `i64` newtype avoids any dependency on a date-time crate while still
+//! giving day/hour arithmetic for slotting.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// Milliseconds since the scenario epoch.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Millis(pub i64);
+
+/// Milliseconds per second.
+pub const MS_PER_SEC: i64 = 1_000;
+/// Milliseconds per minute.
+pub const MS_PER_MIN: i64 = 60 * MS_PER_SEC;
+/// Milliseconds per hour.
+pub const MS_PER_HOUR: i64 = 60 * MS_PER_MIN;
+/// Milliseconds per day.
+pub const MS_PER_DAY: i64 = 24 * MS_PER_HOUR;
+
+impl Millis {
+    /// Zero milliseconds (the scenario epoch itself).
+    pub const ZERO: Millis = Millis(0);
+
+    /// Constructs from whole seconds.
+    pub fn from_secs(s: i64) -> Self {
+        Millis(s * MS_PER_SEC)
+    }
+
+    /// Constructs from fractional seconds (rounded to the nearest ms).
+    pub fn from_secs_f64(s: f64) -> Self {
+        Millis((s * MS_PER_SEC as f64).round() as i64)
+    }
+
+    /// Constructs from whole hours.
+    pub fn from_hours(h: i64) -> Self {
+        Millis(h * MS_PER_HOUR)
+    }
+
+    /// Constructs from whole days.
+    pub fn from_days(d: i64) -> Self {
+        Millis(d * MS_PER_DAY)
+    }
+
+    /// The raw millisecond count.
+    pub fn as_millis(self) -> i64 {
+        self.0
+    }
+
+    /// Value in (fractional) seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / MS_PER_SEC as f64
+    }
+
+    /// Zero-based day index since the epoch (negative times floor).
+    pub fn day_index(self) -> i64 {
+        self.0.div_euclid(MS_PER_DAY)
+    }
+
+    /// Hour of day, `0..24`.
+    pub fn hour_of_day(self) -> u8 {
+        (self.0.rem_euclid(MS_PER_DAY) / MS_PER_HOUR) as u8
+    }
+
+    /// Zero-based hour index since the epoch.
+    pub fn hour_index(self) -> i64 {
+        self.0.div_euclid(MS_PER_HOUR)
+    }
+
+    /// Fraction of the day elapsed, in `[0, 1)`.
+    pub fn day_fraction(self) -> f64 {
+        self.0.rem_euclid(MS_PER_DAY) as f64 / MS_PER_DAY as f64
+    }
+
+    /// Saturating absolute difference in milliseconds.
+    pub fn abs_diff(self, other: Millis) -> i64 {
+        (self.0 - other.0).abs()
+    }
+}
+
+impl Add<i64> for Millis {
+    type Output = Millis;
+    fn add(self, rhs: i64) -> Millis {
+        Millis(self.0 + rhs)
+    }
+}
+
+impl AddAssign<i64> for Millis {
+    fn add_assign(&mut self, rhs: i64) {
+        self.0 += rhs;
+    }
+}
+
+impl Sub for Millis {
+    type Output = i64;
+    fn sub(self, rhs: Millis) -> i64 {
+        self.0 - rhs.0
+    }
+}
+
+impl fmt::Display for Millis {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let day = self.day_index();
+        let rem = self.0.rem_euclid(MS_PER_DAY);
+        let h = rem / MS_PER_HOUR;
+        let m = (rem % MS_PER_HOUR) / MS_PER_MIN;
+        let s = (rem % MS_PER_MIN) / MS_PER_SEC;
+        let ms = rem % MS_PER_SEC;
+        write!(f, "d{day} {h:02}:{m:02}:{s:02}.{ms:03}")
+    }
+}
+
+/// A half-open time interval `[start, end)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TimeRange {
+    /// Inclusive start.
+    pub start: Millis,
+    /// Exclusive end.
+    pub end: Millis,
+}
+
+impl TimeRange {
+    /// Constructs a range; `end` must not precede `start`.
+    pub fn new(start: Millis, end: Millis) -> Self {
+        assert!(end >= start, "inverted time range");
+        Self { start, end }
+    }
+
+    /// The whole `day`-th day since the epoch.
+    pub fn day(day: i64) -> Self {
+        Self::new(Millis::from_days(day), Millis::from_days(day + 1))
+    }
+
+    /// The `hour`-th hour of day `day`.
+    pub fn hour_of_day(day: i64, hour: i64) -> Self {
+        let start = Millis(day * MS_PER_DAY + hour * MS_PER_HOUR);
+        Self::new(start, start + MS_PER_HOUR)
+    }
+
+    /// Length in milliseconds.
+    pub fn len_ms(&self) -> i64 {
+        self.end - self.start
+    }
+
+    /// Whether `t` lies inside the half-open interval.
+    pub fn contains(&self, t: Millis) -> bool {
+        self.start <= t && t < self.end
+    }
+
+    /// Splits the range into consecutive sub-ranges of `width_ms`
+    /// (the last one truncated to fit).
+    pub fn split(&self, width_ms: i64) -> Vec<TimeRange> {
+        assert!(width_ms > 0, "non-positive slot width");
+        let mut out = Vec::new();
+        let mut s = self.start;
+        while s < self.end {
+            let e = Millis((s.0 + width_ms).min(self.end.0));
+            out.push(TimeRange::new(s, e));
+            s = e;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_accessors() {
+        assert_eq!(Millis::from_secs(2).as_millis(), 2_000);
+        assert_eq!(Millis::from_secs_f64(1.5).as_millis(), 1_500);
+        assert_eq!(Millis::from_hours(2).as_millis(), 7_200_000);
+        assert_eq!(Millis::from_days(1).as_millis(), MS_PER_DAY);
+        assert_eq!(Millis(1_500).as_secs_f64(), 1.5);
+    }
+
+    #[test]
+    fn calendar_helpers() {
+        let t = Millis(MS_PER_DAY * 3 + MS_PER_HOUR * 14 + 123);
+        assert_eq!(t.day_index(), 3);
+        assert_eq!(t.hour_of_day(), 14);
+        assert_eq!(t.hour_index(), 3 * 24 + 14);
+        assert!((t.day_fraction() - 14.0 / 24.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn negative_times_floor() {
+        let t = Millis(-1);
+        assert_eq!(t.day_index(), -1);
+        assert_eq!(t.hour_of_day(), 23);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = Millis(100);
+        assert_eq!((t + 50).as_millis(), 150);
+        assert_eq!(Millis(300) - Millis(100), 200);
+        assert_eq!(Millis(100).abs_diff(Millis(300)), 200);
+        assert_eq!(Millis(300).abs_diff(Millis(100)), 200);
+        let mut u = Millis(5);
+        u += 7;
+        assert_eq!(u, Millis(12));
+    }
+
+    #[test]
+    fn display_format() {
+        let t = Millis(MS_PER_DAY + MS_PER_HOUR * 9 + MS_PER_MIN * 5 + 2_042);
+        assert_eq!(t.to_string(), "d1 09:05:02.042");
+    }
+
+    #[test]
+    fn range_basics() {
+        let r = TimeRange::day(2);
+        assert_eq!(r.len_ms(), MS_PER_DAY);
+        assert!(r.contains(Millis(2 * MS_PER_DAY)));
+        assert!(!r.contains(Millis(3 * MS_PER_DAY)));
+        let h = TimeRange::hour_of_day(1, 5);
+        assert_eq!(h.start, Millis(MS_PER_DAY + 5 * MS_PER_HOUR));
+        assert_eq!(h.len_ms(), MS_PER_HOUR);
+    }
+
+    #[test]
+    fn range_split() {
+        let r = TimeRange::new(Millis(0), Millis(2_500));
+        let parts = r.split(1_000);
+        assert_eq!(parts.len(), 3);
+        assert_eq!(parts[0], TimeRange::new(Millis(0), Millis(1_000)));
+        assert_eq!(parts[2], TimeRange::new(Millis(2_000), Millis(2_500)));
+        // Day splits into 24 hours.
+        assert_eq!(TimeRange::day(0).split(MS_PER_HOUR).len(), 24);
+    }
+
+    #[test]
+    #[should_panic(expected = "inverted")]
+    fn inverted_range_panics() {
+        TimeRange::new(Millis(5), Millis(4));
+    }
+}

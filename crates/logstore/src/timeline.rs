@@ -1,0 +1,190 @@
+//! Sorted per-source timestamp sequences and the nearest-distance
+//! primitive.
+//!
+//! Technique L1 reduces each application to the sequence of timestamps of
+//! its logs. Its core operation — equation (1) of the paper,
+//! `dist(t, A) = min_{a ∈ A} |a − t|` — is a binary search here.
+
+use crate::time::{Millis, TimeRange};
+use serde::{Deserialize, Serialize};
+
+/// A sorted sequence of timestamps belonging to one log source.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Timeline {
+    points: Vec<Millis>,
+}
+
+impl Timeline {
+    /// The empty timeline (const, usable in statics).
+    pub const fn empty() -> Self {
+        Timeline { points: Vec::new() }
+    }
+
+    /// Wraps an already-sorted timestamp vector.
+    ///
+    /// # Panics
+    /// In debug builds, panics if the input is not ascending.
+    pub fn from_sorted(points: Vec<Millis>) -> Self {
+        debug_assert!(
+            points.windows(2).all(|w| w[0] <= w[1]),
+            "Timeline::from_sorted: input not sorted"
+        );
+        Timeline { points }
+    }
+
+    /// Sorts and wraps an arbitrary timestamp vector.
+    pub fn from_unsorted(mut points: Vec<Millis>) -> Self {
+        points.sort_unstable();
+        Timeline { points }
+    }
+
+    /// Number of timestamps.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when there are no timestamps.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// All timestamps, ascending.
+    pub fn points(&self) -> &[Millis] {
+        &self.points
+    }
+
+    /// Distance (ms) from `t` to the nearest timestamp — equation (1) of
+    /// the paper. `None` on an empty timeline.
+    pub fn dist_to_nearest(&self, t: Millis) -> Option<i64> {
+        if self.points.is_empty() {
+            return None;
+        }
+        let i = self.points.partition_point(|&p| p < t);
+        let after = self.points.get(i).map(|&p| p - t);
+        let before = if i > 0 {
+            Some(t - self.points[i - 1])
+        } else {
+            None
+        };
+        match (before, after) {
+            (Some(b), Some(a)) => Some(b.min(a)),
+            (Some(b), None) => Some(b),
+            (None, Some(a)) => Some(a),
+            (None, None) => None,
+        }
+    }
+
+    /// Distance (ms) from `t` to the *next* timestamp at or after `t` —
+    /// the variant used by the Li–Ma baseline, which looks only forward.
+    /// `None` when no timestamp follows `t`.
+    pub fn dist_to_next(&self, t: Millis) -> Option<i64> {
+        let i = self.points.partition_point(|&p| p < t);
+        self.points.get(i).map(|&p| p - t)
+    }
+
+    /// The sub-slice of timestamps inside the half-open `range`.
+    pub fn slice_in(&self, range: TimeRange) -> &[Millis] {
+        let lo = self.points.partition_point(|&p| p < range.start);
+        let hi = self.points.partition_point(|&p| p < range.end);
+        &self.points[lo..hi]
+    }
+
+    /// Number of timestamps inside `range`.
+    pub fn count_in(&self, range: TimeRange) -> usize {
+        self.slice_in(range).len()
+    }
+
+    /// Histogram of activity: counts per consecutive bin of `bin_ms`
+    /// across `range` (the data behind Figure 1 of the paper).
+    pub fn counts_per_bin(&self, range: TimeRange, bin_ms: i64) -> Vec<usize> {
+        assert!(bin_ms > 0, "non-positive bin width");
+        let n_bins = ((range.len_ms() + bin_ms - 1) / bin_ms) as usize;
+        let mut bins = vec![0usize; n_bins];
+        for &p in self.slice_in(range) {
+            let idx = ((p - range.start) / bin_ms) as usize;
+            bins[idx] += 1;
+        }
+        bins
+    }
+}
+
+impl FromIterator<Millis> for Timeline {
+    fn from_iter<I: IntoIterator<Item = Millis>>(iter: I) -> Self {
+        Timeline::from_unsorted(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tl(ts: &[i64]) -> Timeline {
+        Timeline::from_unsorted(ts.iter().map(|&t| Millis(t)).collect())
+    }
+
+    #[test]
+    fn nearest_distance_cases() {
+        let t = tl(&[10, 20, 40]);
+        assert_eq!(t.dist_to_nearest(Millis(10)), Some(0)); // exact hit
+        assert_eq!(t.dist_to_nearest(Millis(14)), Some(4)); // closer left
+        assert_eq!(t.dist_to_nearest(Millis(17)), Some(3)); // closer right
+        assert_eq!(t.dist_to_nearest(Millis(30)), Some(10)); // tie
+        assert_eq!(t.dist_to_nearest(Millis(0)), Some(10)); // before all
+        assert_eq!(t.dist_to_nearest(Millis(100)), Some(60)); // after all
+        assert_eq!(Timeline::empty().dist_to_nearest(Millis(5)), None);
+    }
+
+    #[test]
+    fn next_distance_is_forward_only() {
+        let t = tl(&[10, 20, 40]);
+        assert_eq!(t.dist_to_next(Millis(10)), Some(0));
+        assert_eq!(t.dist_to_next(Millis(11)), Some(9));
+        assert_eq!(t.dist_to_next(Millis(39)), Some(1));
+        assert_eq!(t.dist_to_next(Millis(41)), None);
+        // Nearest can be behind; next never is.
+        assert_eq!(t.dist_to_nearest(Millis(39)), Some(1));
+        assert_eq!(t.dist_to_nearest(Millis(21)), Some(1));
+        assert_eq!(t.dist_to_next(Millis(21)), Some(19));
+    }
+
+    #[test]
+    fn slice_and_count_in_range() {
+        let t = tl(&[5, 10, 15, 20, 25]);
+        let r = TimeRange::new(Millis(10), Millis(25));
+        assert_eq!(
+            t.slice_in(r),
+            &[Millis(10), Millis(15), Millis(20)],
+            "half-open semantics"
+        );
+        assert_eq!(t.count_in(r), 3);
+        assert_eq!(t.count_in(TimeRange::new(Millis(26), Millis(30))), 0);
+    }
+
+    #[test]
+    fn binning_matches_figure1_shape() {
+        let t = tl(&[0, 100, 900, 1000, 1100, 2500]);
+        let bins = t.counts_per_bin(TimeRange::new(Millis(0), Millis(3000)), 1000);
+        assert_eq!(bins, vec![3, 2, 1]);
+    }
+
+    #[test]
+    fn binning_partial_last_bin() {
+        let t = tl(&[0, 1400]);
+        let bins = t.counts_per_bin(TimeRange::new(Millis(0), Millis(1500)), 1000);
+        assert_eq!(bins, vec![1, 1]);
+    }
+
+    #[test]
+    fn from_iterator_sorts() {
+        let t: Timeline = [Millis(3), Millis(1), Millis(2)].into_iter().collect();
+        assert_eq!(t.points(), &[Millis(1), Millis(2), Millis(3)]);
+    }
+
+    #[test]
+    fn duplicates_allowed() {
+        let t = tl(&[7, 7, 7]);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.dist_to_nearest(Millis(7)), Some(0));
+        assert_eq!(t.count_in(TimeRange::new(Millis(7), Millis(8))), 3);
+    }
+}

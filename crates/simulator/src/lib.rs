@@ -1,0 +1,51 @@
+//! A hospital-style SOA environment simulator.
+//!
+//! The paper evaluates its mining techniques on the production logging
+//! system of the Geneva University Hospitals — 10 million logs per day
+//! from a landscape of ~54 applications and ~47 service-directory
+//! entries. That environment is obviously not available; this crate is
+//! the substitution (see DESIGN.md §2): a seeded, configurable simulator
+//! that reproduces the *causal mechanisms* connecting dependencies to
+//! log lines, including every noise category of the paper's §4.8 error
+//! taxonomy:
+//!
+//! * caller logs flanking each invocation, citing directory elements in
+//!   per-developer styles; callee logs at the serving application;
+//! * applications that do not log their invocations, outdated ids
+//!   (`UPSRV` vs `UPSRV2`), similar-but-wrong ids;
+//! * coincidental citations (a patient named like a service), exception
+//!   stack traces citing transitive services, server-side logs that
+//!   invert dependency directions;
+//! * diurnal and weekday/weekend load, user sessions over shared and
+//!   roaming machines, asynchronous calls, clock skew (NTP vs NT
+//!   domains) and client-side buffering.
+//!
+//! The entry point is [`engine::simulate`], which returns the finalized
+//! log store, the exact ground truth, and the published service
+//! directory.
+//!
+//! ```
+//! use logdep_sim::{engine::simulate, SimConfig};
+//!
+//! let out = simulate(&SimConfig::small_test(7));
+//! assert!(out.store.len() > 1_000);
+//! assert!(!out.truth.app_pairs.is_empty());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod directory;
+pub mod engine;
+pub mod population;
+pub mod textgen;
+pub mod topology;
+pub mod truth;
+
+pub use config::{NoiseConfig, SimConfig, TopologyConfig, WorkloadConfig};
+pub use directory::ServiceDirectory;
+pub use engine::{simulate, simulate_with, SimOutput, SimStats};
+pub use population::Population;
+pub use topology::Topology;
+pub use truth::GroundTruth;

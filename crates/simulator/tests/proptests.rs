@@ -1,0 +1,112 @@
+//! Property-based tests of the simulator: structural invariants that
+//! must hold for *any* configuration, not just the calibrated presets.
+
+use logdep_sim::topology::{CitationStyle, FreqTier, Topology};
+use logdep_sim::{simulate, NoiseConfig, SimConfig, TopologyConfig, WorkloadConfig};
+use proptest::prelude::*;
+
+fn arb_topology_config() -> impl Strategy<Value = TopologyConfig> {
+    (2usize..6, 3usize..10, 2usize..5, 4usize..14).prop_map(
+        |(clients, mids, backends, services)| TopologyConfig {
+            n_client_apps: clients,
+            n_mid_apps: mids,
+            n_backend_apps: backends,
+            n_services: services,
+            client_fanout: 3.0,
+            mid_fanout: 1.5,
+            backend_edge_prob: 0.4,
+            async_edge_fraction: 0.3,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn topology_invariants_hold_for_any_shape(
+        cfg in arb_topology_config(),
+        seed in 0u64..10_000,
+    ) {
+        let topo = Topology::generate(&cfg, &NoiseConfig::paper_taxonomy(), seed);
+        prop_assert_eq!(topo.apps.len(), cfg.n_apps());
+        prop_assert_eq!(topo.services.len(), cfg.n_services);
+        // No duplicate edges, no self-dependencies.
+        let mut seen = std::collections::HashSet::new();
+        for e in &topo.edges {
+            prop_assert!(seen.insert((e.caller, e.service)));
+            prop_assert!(topo.services[e.service].owner != e.caller);
+            prop_assert!(e.caller < topo.apps.len());
+            prop_assert!(e.service < topo.services.len());
+        }
+        // Ownership lists agree with the service table.
+        for (i, svc) in topo.services.iter().enumerate() {
+            prop_assert!(topo.apps[svc.owner].owns.contains(&i));
+        }
+        // Wrong-id citations never point at a real dependency.
+        for e in &topo.edges {
+            if let CitationStyle::WrongId(w) = e.citation {
+                prop_assert!(!topo
+                    .edges
+                    .iter()
+                    .any(|x| x.caller == e.caller && x.service == w));
+            }
+        }
+    }
+
+    #[test]
+    fn evolution_preserves_invariants(
+        seed in 0u64..5_000,
+        add in 0usize..12,
+        remove in 0usize..12,
+    ) {
+        let topo = Topology::generate(
+            &TopologyConfig::small(),
+            &NoiseConfig::paper_taxonomy(),
+            seed,
+        );
+        let next = topo.evolve(add, remove, seed ^ 0xabc);
+        let mut seen = std::collections::HashSet::new();
+        for e in &next.edges {
+            prop_assert!(seen.insert((e.caller, e.service)));
+            prop_assert!(next.services[e.service].owner != e.caller);
+        }
+        for c in &next.flaky_chains {
+            prop_assert!(c.top_edge < next.edges.len());
+            prop_assert!(c.deep_edge < next.edges.len());
+            let top = &next.edges[c.top_edge];
+            let deep = &next.edges[c.deep_edge];
+            prop_assert_eq!(next.services[top.service].owner, deep.caller);
+        }
+    }
+
+    #[test]
+    fn simulation_structural_invariants(seed in 0u64..1_000) {
+        let mut cfg = SimConfig::small_test(seed);
+        cfg.workload = WorkloadConfig {
+            scale: 0.15,
+            ..WorkloadConfig::hug_like(0.15)
+        };
+        let out = simulate(&cfg);
+        // Store is sorted and every record's source resolves to a name.
+        let records = out.store.records();
+        for w in records.windows(2) {
+            prop_assert!(w[0].client_ts <= w[1].client_ts);
+        }
+        for r in records.iter().step_by(97) {
+            prop_assert!(!out.store.registry.source_name(r.source).starts_with('<'));
+        }
+        // Dormant edges never realize; realized counts only for edges.
+        for day in &out.stats.realized {
+            prop_assert_eq!(day.len(), out.topology.edges.len());
+            for (i, e) in out.topology.edges.iter().enumerate() {
+                if e.freq == FreqTier::Dormant {
+                    prop_assert_eq!(day[i], 0);
+                }
+            }
+        }
+        // Stats add up.
+        prop_assert_eq!(out.stats.total_logs, out.store.len());
+        prop_assert!(out.stats.context_logs <= out.stats.total_logs);
+    }
+}

@@ -1,0 +1,120 @@
+//! The chi-square (χ²) distribution.
+//!
+//! Technique L2's association gate compares Dunning's G² (and optionally
+//! Pearson's X²) statistic against χ² critical values with one degree of
+//! freedom.
+
+use crate::special::{gamma_p, gamma_q};
+use crate::{Result, StatsError};
+
+fn check_df(df: f64) -> Result<()> {
+    if !(df > 0.0) || df.is_nan() {
+        return Err(StatsError::InvalidParameter {
+            name: "df",
+            value: df,
+        });
+    }
+    Ok(())
+}
+
+/// CDF of the χ² distribution with `df` degrees of freedom.
+pub fn cdf(x: f64, df: f64) -> Result<f64> {
+    check_df(df)?;
+    if x <= 0.0 {
+        return Ok(0.0);
+    }
+    Ok(gamma_p(df / 2.0, x / 2.0))
+}
+
+/// Survival function `P(X > x)`, accurate in the far tail (where p-values
+/// live).
+pub fn sf(x: f64, df: f64) -> Result<f64> {
+    check_df(df)?;
+    if x <= 0.0 {
+        return Ok(1.0);
+    }
+    Ok(gamma_q(df / 2.0, x / 2.0))
+}
+
+/// Quantile function: smallest `x` with `CDF(x) ≥ p`, by bisection.
+pub fn quantile(p: f64, df: f64) -> Result<f64> {
+    check_df(df)?;
+    if !(p > 0.0 && p < 1.0) {
+        return Err(StatsError::InvalidLevel(p));
+    }
+    // Bracket: the mean is df, variance 2·df; go wide then bisect.
+    let mut lo = 0.0_f64;
+    let mut hi = df + 10.0 * (2.0 * df).sqrt() + 10.0;
+    while cdf(hi, df)? < p {
+        hi *= 2.0;
+        if hi > 1e12 {
+            return Err(StatsError::NoConvergence("chi2::quantile bracket"));
+        }
+    }
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if cdf(mid, df)? < p {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+        if hi - lo < 1e-12 * (1.0 + hi) {
+            break;
+        }
+    }
+    Ok(0.5 * (lo + hi))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cdf_known_values_df1() {
+        // χ²₁ critical values: P(X > 3.841) = 0.05, P(X > 6.635) = 0.01.
+        assert!((sf(3.841_458_820_694_124, 1.0).unwrap() - 0.05).abs() < 1e-9);
+        assert!((sf(6.634_896_601_021_213, 1.0).unwrap() - 0.01).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cdf_known_values_df2() {
+        // χ²₂ is Exponential(1/2): CDF(x) = 1 − e^{−x/2}.
+        for &x in &[0.5, 1.0, 4.0, 10.0] {
+            assert!((cdf(x, 2.0).unwrap() - (1.0 - (-x / 2.0).exp())).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn quantile_inverts_cdf() {
+        for &df in &[1.0, 2.0, 5.0, 30.0] {
+            for &p in &[0.01, 0.05, 0.5, 0.95, 0.99, 0.999] {
+                let x = quantile(p, df).unwrap();
+                assert!((cdf(x, df).unwrap() - p).abs() < 1e-9, "df={df} p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn quantile_common_critical_values() {
+        assert!((quantile(0.95, 1.0).unwrap() - 3.841_458_820_694_124).abs() < 1e-6);
+        assert!((quantile(0.99, 1.0).unwrap() - 6.634_896_601_021_213).abs() < 1e-6);
+    }
+
+    #[test]
+    fn boundaries_and_errors() {
+        assert_eq!(cdf(-1.0, 3.0).unwrap(), 0.0);
+        assert_eq!(sf(-1.0, 3.0).unwrap(), 1.0);
+        assert!(cdf(1.0, 0.0).is_err());
+        assert!(cdf(1.0, -2.0).is_err());
+        assert!(quantile(0.0, 1.0).is_err());
+        assert!(quantile(1.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn sf_plus_cdf_is_one() {
+        for &x in &[0.1, 1.0, 5.0, 20.0] {
+            let s = sf(x, 4.0).unwrap() + cdf(x, 4.0).unwrap();
+            assert!((s - 1.0).abs() < 1e-11);
+        }
+    }
+}

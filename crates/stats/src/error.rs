@@ -1,0 +1,79 @@
+//! Error type for statistical computations.
+
+use std::fmt;
+
+/// Errors reported by statistical routines.
+///
+/// All routines validate their inputs and return a structured error rather
+/// than panicking or silently producing NaNs, so mining pipelines can skip
+/// degenerate slots (empty samples, zero-margin tables) deliberately.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StatsError {
+    /// The sample was empty where at least one observation is required.
+    EmptySample,
+    /// The sample was too small for the requested procedure.
+    SampleTooSmall {
+        /// Observations required.
+        required: usize,
+        /// Observations provided.
+        actual: usize,
+    },
+    /// A probability or confidence level lay outside its valid open interval.
+    InvalidLevel(f64),
+    /// A distribution parameter was out of range (e.g. negative variance).
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The value supplied.
+        value: f64,
+    },
+    /// A contingency table had a zero row or column margin, so no
+    /// association statistic is defined.
+    DegenerateTable,
+    /// The input contained a NaN, which has no ordering.
+    NanInput,
+    /// Numerical iteration failed to converge.
+    NoConvergence(&'static str),
+}
+
+impl fmt::Display for StatsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StatsError::EmptySample => write!(f, "empty sample"),
+            StatsError::SampleTooSmall { required, actual } => {
+                write!(f, "sample too small: need {required}, got {actual}")
+            }
+            StatsError::InvalidLevel(l) => {
+                write!(f, "confidence level {l} outside (0, 1)")
+            }
+            StatsError::InvalidParameter { name, value } => {
+                write!(f, "invalid parameter {name} = {value}")
+            }
+            StatsError::DegenerateTable => {
+                write!(f, "contingency table has a zero margin")
+            }
+            StatsError::NanInput => write!(f, "input contains NaN"),
+            StatsError::NoConvergence(what) => {
+                write!(f, "iteration failed to converge in {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StatsError {}
+
+/// Validates that `level` is a usable confidence level in `(0, 1)`.
+pub(crate) fn check_level(level: f64) -> crate::Result<()> {
+    if !(level > 0.0 && level < 1.0) {
+        return Err(StatsError::InvalidLevel(level));
+    }
+    Ok(())
+}
+
+/// Validates that a slice of floats contains no NaN.
+pub(crate) fn check_no_nan(xs: &[f64]) -> crate::Result<()> {
+    if xs.iter().any(|x| x.is_nan()) {
+        return Err(StatsError::NanInput);
+    }
+    Ok(())
+}

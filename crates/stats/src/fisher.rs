@@ -1,0 +1,129 @@
+//! Fisher's exact test for 2×2 contingency tables.
+//!
+//! The exact complement to Dunning's G² and Pearson's X²: when a
+//! bigram type has only a handful of observations, the asymptotic χ²
+//! calibration of both statistics is questionable and the
+//! hypergeometric computation is cheap. `logdep`'s L2 keeps a
+//! `min_joint` guard for that regime; this test lets an analyst check
+//! borderline tables exactly.
+
+use crate::binomial::ln_choose;
+use crate::contingency::Table2x2;
+use crate::Result;
+use serde::{Deserialize, Serialize};
+
+/// Result of Fisher's exact test.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FisherResult {
+    /// One-sided p-value for *positive* association (joint count at
+    /// least as large as observed).
+    pub p_greater: f64,
+    /// Two-sided p-value (sum of all tables as or less probable).
+    pub p_two_sided: f64,
+}
+
+/// Hypergeometric log-probability of a table with the given margins
+/// and joint cell `k`.
+fn ln_hyper(k: u64, r1: u64, c1: u64, n: u64) -> f64 {
+    ln_choose(r1, k) + ln_choose(n - r1, c1 - k) - ln_choose(n, c1)
+}
+
+/// Fisher's exact test on a 2×2 table.
+///
+/// Returns an error for degenerate tables (a zero margin).
+pub fn fisher_exact(table: &Table2x2) -> Result<FisherResult> {
+    // Validate margins via the expected-count machinery.
+    table.expected()?;
+    let n = table.n();
+    let (r1, _) = table.row_sums();
+    let (c1, _) = table.col_sums();
+    let observed = table.o11;
+
+    // Feasible joint-cell range given the margins.
+    let k_min = r1.saturating_sub(n - c1);
+    let k_max = r1.min(c1);
+
+    let ln_obs = ln_hyper(observed, r1, c1, n);
+    let mut p_greater = 0.0_f64;
+    let mut p_two_sided = 0.0_f64;
+    for k in k_min..=k_max {
+        let lp = ln_hyper(k, r1, c1, n);
+        let p = lp.exp();
+        if k >= observed {
+            p_greater += p;
+        }
+        // Standard two-sided rule: sum tables no more probable than
+        // the observed one (with a small tolerance for rounding).
+        if lp <= ln_obs + 1e-9 {
+            p_two_sided += p;
+        }
+    }
+    Ok(FisherResult {
+        p_greater: p_greater.min(1.0),
+        p_two_sided: p_two_sided.min(1.0),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lady_tasting_tea() {
+        // Fisher's original: margins 4/4, all 4 correct: p = 1/70.
+        let t = Table2x2::new(4, 0, 0, 4);
+        let r = fisher_exact(&t).unwrap();
+        assert!((r.p_greater - 1.0 / 70.0).abs() < 1e-9);
+        assert!((r.p_two_sided - 2.0 / 70.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn independent_table_is_insignificant() {
+        let t = Table2x2::new(10, 10, 10, 10);
+        let r = fisher_exact(&t).unwrap();
+        assert!(r.p_greater > 0.4);
+        assert!(
+            (r.p_two_sided - 1.0).abs() < 1e-6,
+            "central table sums everything"
+        );
+    }
+
+    #[test]
+    fn agrees_in_direction_with_g2_on_skewed_table() {
+        // The bigram-like skewed table from the contingency tests.
+        let t = Table2x2::new(7, 3, 11, 979);
+        let r = fisher_exact(&t).unwrap();
+        assert!(r.p_greater < 1e-6, "strong positive association expected");
+        let g2_p = crate::chi2::sf(t.g2().unwrap(), 1.0).unwrap();
+        // Same order of magnitude of evidence.
+        assert!(r.p_greater.log10() - g2_p.log10() < 4.0);
+    }
+
+    #[test]
+    fn probabilities_sum_to_one_over_the_range() {
+        let t = Table2x2::new(3, 5, 7, 11);
+        let n = t.n();
+        let (r1, _) = t.row_sums();
+        let (c1, _) = t.col_sums();
+        let k_min = r1.saturating_sub(n - c1);
+        let k_max = r1.min(c1);
+        let total: f64 = (k_min..=k_max).map(|k| ln_hyper(k, r1, c1, n).exp()).sum();
+        assert!((total - 1.0).abs() < 1e-9, "hypergeometric sums to {total}");
+    }
+
+    #[test]
+    fn negative_association_has_large_p_greater() {
+        let t = Table2x2::new(0, 10, 10, 0);
+        let r = fisher_exact(&t).unwrap();
+        assert!(r.p_greater > 0.999, "k_min == observed ⇒ p_greater ≈ 1");
+        assert!(
+            r.p_two_sided < 0.01,
+            "perfect avoidance is two-sided significant"
+        );
+    }
+
+    #[test]
+    fn degenerate_table_errors() {
+        assert!(fisher_exact(&Table2x2::new(0, 0, 3, 4)).is_err());
+    }
+}

@@ -1,0 +1,175 @@
+//! The standard normal distribution: density, CDF, and quantile.
+
+use crate::special::erfc;
+use crate::{error::check_level, Result, StatsError};
+
+/// Standard normal probability density function.
+pub fn pdf(x: f64) -> f64 {
+    (-(x * x) / 2.0).exp() / (2.0 * std::f64::consts::PI).sqrt()
+}
+
+/// Standard normal cumulative distribution function `Φ(x)`.
+///
+/// ```
+/// use logdep_stats::normal::cdf;
+/// assert!((cdf(0.0) - 0.5).abs() < 1e-12);
+/// assert!((cdf(1.96) - 0.975).abs() < 1e-4);
+/// ```
+pub fn cdf(x: f64) -> f64 {
+    0.5 * erfc(-x / std::f64::consts::SQRT_2)
+}
+
+/// Standard normal survival function `1 − Φ(x)`, accurate in the far tail.
+pub fn sf(x: f64) -> f64 {
+    0.5 * erfc(x / std::f64::consts::SQRT_2)
+}
+
+/// Standard normal quantile function `Φ⁻¹(p)` for `p ∈ (0, 1)`.
+///
+/// Uses Acklam's rational approximation refined by one Halley step on the
+/// exact CDF, giving ~1e-14 relative accuracy.
+pub fn quantile(p: f64) -> Result<f64> {
+    if !(p > 0.0 && p < 1.0) {
+        return Err(StatsError::InvalidLevel(p));
+    }
+    let x = acklam(p);
+    // One Halley refinement step against the high-accuracy CDF.
+    let e = cdf(x) - p;
+    let u = e * (2.0 * std::f64::consts::PI).sqrt() * (x * x / 2.0).exp();
+    Ok(x - u / (1.0 + x * u / 2.0))
+}
+
+/// Two-sided critical value `z` with `Φ(z) − Φ(−z) = level`.
+///
+/// For `level = 0.95` this is the familiar 1.96.
+pub fn two_sided_z(level: f64) -> Result<f64> {
+    check_level(level)?;
+    quantile(0.5 + level / 2.0)
+}
+
+/// Acklam's rational approximation to the normal quantile.
+fn acklam(p: f64) -> f64 {
+    const A: [f64; 6] = [
+        -3.969_683_028_665_376e+1,
+        2.209_460_984_245_205e+2,
+        -2.759_285_104_469_687e+2,
+        1.383_577_518_672_69e2,
+        -3.066_479_806_614_716e+1,
+        2.506_628_277_459_239,
+    ];
+    const B: [f64; 5] = [
+        -5.447_609_879_822_406e+1,
+        1.615_858_368_580_409e+2,
+        -1.556_989_798_598_866e+2,
+        6.680_131_188_771_972e+1,
+        -1.328_068_155_288_572e+1,
+    ];
+    const C: [f64; 6] = [
+        -7.784_894_002_430_293e-3,
+        -3.223_964_580_411_365e-1,
+        -2.400_758_277_161_838,
+        -2.549_732_539_343_734,
+        4.374_664_141_464_968,
+        2.938_163_982_698_783,
+    ];
+    const D: [f64; 4] = [
+        7.784_695_709_041_462e-3,
+        3.224_671_290_700_398e-1,
+        2.445_134_137_142_996,
+        3.754_408_661_907_416,
+    ];
+    const P_LOW: f64 = 0.024_25;
+    const P_HIGH: f64 = 1.0 - P_LOW;
+
+    if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= P_HIGH {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    }
+}
+
+/// CDF of a general normal with the given mean and standard deviation.
+pub fn cdf_with(x: f64, mean: f64, sd: f64) -> Result<f64> {
+    if sd <= 0.0 {
+        return Err(StatsError::InvalidParameter {
+            name: "sd",
+            value: sd,
+        });
+    }
+    Ok(cdf((x - mean) / sd))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::special::erf as erf_fn;
+
+    #[test]
+    fn pdf_symmetric_and_peaked_at_zero() {
+        assert!((pdf(0.0) - 0.398_942_280_4).abs() < 1e-9);
+        assert_eq!(pdf(1.3), pdf(-1.3));
+        assert!(pdf(0.0) > pdf(0.5));
+    }
+
+    #[test]
+    fn cdf_reference_values() {
+        assert!((cdf(0.0) - 0.5).abs() < 1e-14);
+        assert!((cdf(1.0) - 0.841_344_746_068_543).abs() < 1e-10);
+        assert!((cdf(-1.0) - 0.158_655_253_931_457).abs() < 1e-10);
+        assert!((cdf(3.0) - 0.998_650_101_968_37).abs() < 1e-10);
+    }
+
+    #[test]
+    fn sf_tail_accuracy() {
+        // 1 − Φ(6) ≈ 9.8659e−10; naive 1 − cdf would lose digits.
+        let t = sf(6.0);
+        assert!((t - 9.865_876_45e-10).abs() / t < 1e-6);
+    }
+
+    #[test]
+    fn quantile_inverts_cdf() {
+        for &p in &[1e-8, 0.001, 0.025, 0.2, 0.5, 0.8, 0.975, 0.999, 1.0 - 1e-8] {
+            let x = quantile(p).unwrap();
+            assert!((cdf(x) - p).abs() < 1e-12, "p = {p}");
+        }
+    }
+
+    #[test]
+    fn quantile_known_critical_values() {
+        assert!((quantile(0.975).unwrap() - 1.959_963_984_540_054).abs() < 1e-9);
+        assert!((quantile(0.995).unwrap() - 2.575_829_303_548_901).abs() < 1e-9);
+        assert!((two_sided_z(0.95).unwrap() - 1.959_963_984_540_054).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantile_rejects_bad_levels() {
+        assert!(quantile(0.0).is_err());
+        assert!(quantile(1.0).is_err());
+        assert!(quantile(-0.3).is_err());
+        assert!(two_sided_z(1.5).is_err());
+    }
+
+    #[test]
+    fn cdf_consistent_with_erf() {
+        for &x in &[-2.0, -0.5, 0.0, 0.5, 2.0] {
+            let via_erf = 0.5 * (1.0 + erf_fn(x / std::f64::consts::SQRT_2));
+            assert!((cdf(x) - via_erf).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn cdf_with_shifts_and_scales() {
+        assert!((cdf_with(10.0, 10.0, 2.0).unwrap() - 0.5).abs() < 1e-14);
+        assert!(cdf_with(0.0, 0.0, 0.0).is_err());
+        assert!(cdf_with(0.0, 0.0, -1.0).is_err());
+    }
+}

@@ -1,0 +1,128 @@
+//! Student's t distribution, used for regression slope confidence
+//! intervals in the load-influence experiment (Figure 9).
+
+use crate::special::beta_inc;
+use crate::{Result, StatsError};
+
+fn check_df(df: f64) -> Result<()> {
+    if !(df > 0.0) || df.is_nan() {
+        return Err(StatsError::InvalidParameter {
+            name: "df",
+            value: df,
+        });
+    }
+    Ok(())
+}
+
+/// CDF of Student's t with `df` degrees of freedom.
+pub fn cdf(t: f64, df: f64) -> Result<f64> {
+    check_df(df)?;
+    if t == 0.0 {
+        return Ok(0.5);
+    }
+    let x = df / (df + t * t);
+    let p = 0.5 * beta_inc(df / 2.0, 0.5, x);
+    Ok(if t > 0.0 { 1.0 - p } else { p })
+}
+
+/// Quantile function of Student's t, by bisection on the CDF.
+pub fn quantile(p: f64, df: f64) -> Result<f64> {
+    check_df(df)?;
+    if !(p > 0.0 && p < 1.0) {
+        return Err(StatsError::InvalidLevel(p));
+    }
+    if (p - 0.5).abs() < 1e-16 {
+        return Ok(0.0);
+    }
+    let mut lo = -1.0_f64;
+    let mut hi = 1.0_f64;
+    while cdf(lo, df)? > p {
+        lo *= 2.0;
+        if lo < -1e10 {
+            return Err(StatsError::NoConvergence("tdist::quantile bracket"));
+        }
+    }
+    while cdf(hi, df)? < p {
+        hi *= 2.0;
+        if hi > 1e10 {
+            return Err(StatsError::NoConvergence("tdist::quantile bracket"));
+        }
+    }
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if cdf(mid, df)? < p {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+        if hi - lo < 1e-12 * (1.0 + hi.abs()) {
+            break;
+        }
+    }
+    Ok(0.5 * (lo + hi))
+}
+
+/// Two-sided critical value `t*` with `P(|T| ≤ t*) = level`.
+pub fn two_sided_t(level: f64, df: f64) -> Result<f64> {
+    if !(level > 0.0 && level < 1.0) {
+        return Err(StatsError::InvalidLevel(level));
+    }
+    quantile(0.5 + level / 2.0, df)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cdf_symmetry() {
+        for &df in &[1.0, 5.0, 30.0] {
+            for &t in &[0.5, 1.0, 2.5] {
+                let a = cdf(t, df).unwrap();
+                let b = cdf(-t, df).unwrap();
+                assert!((a + b - 1.0).abs() < 1e-12, "df={df} t={t}");
+            }
+        }
+        assert_eq!(cdf(0.0, 7.0).unwrap(), 0.5);
+    }
+
+    #[test]
+    fn cdf_df1_is_cauchy() {
+        // t with 1 df is standard Cauchy: CDF(t) = 1/2 + atan(t)/π.
+        for &t in &[-3.0_f64, -1.0, 0.5, 2.0] {
+            let expect = 0.5 + t.atan() / std::f64::consts::PI;
+            assert!((cdf(t, 1.0).unwrap() - expect).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn quantile_reference_values() {
+        // Classical table: t₀.₉₇₅ with 10 df = 2.228, with 5 df = 2.571.
+        assert!((quantile(0.975, 10.0).unwrap() - 2.228_138_85).abs() < 1e-6);
+        assert!((quantile(0.975, 5.0).unwrap() - 2.570_581_84).abs() < 1e-6);
+        assert!((two_sided_t(0.95, 10.0).unwrap() - 2.228_138_85).abs() < 1e-6);
+    }
+
+    #[test]
+    fn quantile_inverts_cdf() {
+        for &df in &[2.0, 12.0, 100.0] {
+            for &p in &[0.01, 0.2, 0.5, 0.8, 0.99] {
+                let t = quantile(p, df).unwrap();
+                assert!((cdf(t, df).unwrap() - p).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn large_df_approaches_normal() {
+        let t = quantile(0.975, 1e6).unwrap();
+        assert!((t - 1.96).abs() < 0.001);
+    }
+
+    #[test]
+    fn error_cases() {
+        assert!(cdf(0.0, 0.0).is_err());
+        assert!(quantile(1.2, 5.0).is_err());
+        assert!(two_sided_t(0.0, 5.0).is_err());
+    }
+}

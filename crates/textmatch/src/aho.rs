@@ -1,0 +1,435 @@
+//! A from-scratch Aho–Corasick automaton.
+//!
+//! Byte-level trie with BFS-computed failure and output links. Matching a
+//! message is a single left-to-right pass regardless of how many
+//! directory identifiers are registered, which is what keeps technique
+//! L3 linear in the number of logs (§5 of the paper).
+
+/// How matches are validated against their surrounding context.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MatchMode {
+    /// Any substring occurrence counts.
+    Substring,
+    /// The occurrence must not be flanked by alphanumeric (or `_`)
+    /// characters, so identifiers only match as whole tokens. This is
+    /// the right mode for service-directory ids: without it, a citation
+    /// of `UPSRV2` would also fire the pattern `UPSRV`.
+    #[default]
+    WholeWord,
+}
+
+/// One pattern occurrence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Match {
+    /// Index of the pattern (in insertion order) that matched.
+    pub pattern: usize,
+    /// Byte offset of the first matched byte.
+    pub start: usize,
+    /// Byte offset one past the last matched byte.
+    pub end: usize,
+}
+
+/// Builder for a [`Matcher`].
+#[derive(Debug, Clone)]
+pub struct MatcherBuilder {
+    patterns: Vec<Vec<u8>>,
+    case_insensitive: bool,
+    mode: MatchMode,
+}
+
+impl Default for MatcherBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MatcherBuilder {
+    /// Creates a builder with default settings: case-insensitive,
+    /// whole-word matching (the right defaults for directory ids cited
+    /// in hand-written log lines).
+    pub fn new() -> Self {
+        Self {
+            patterns: Vec::new(),
+            case_insensitive: true,
+            mode: MatchMode::WholeWord,
+        }
+    }
+
+    /// Adds a pattern; returns its index.
+    ///
+    /// Empty patterns are rejected with `None`.
+    pub fn add(&mut self, pattern: &str) -> Option<usize> {
+        if pattern.is_empty() {
+            return None;
+        }
+        let bytes = if self.case_insensitive {
+            pattern.bytes().map(|b| b.to_ascii_lowercase()).collect()
+        } else {
+            pattern.bytes().collect()
+        };
+        self.patterns.push(bytes);
+        Some(self.patterns.len() - 1)
+    }
+
+    /// Adds many patterns, ignoring empties.
+    pub fn add_all<'a>(&mut self, patterns: impl IntoIterator<Item = &'a str>) -> &mut Self {
+        for p in patterns {
+            self.add(p);
+        }
+        self
+    }
+
+    /// Sets ASCII case folding (default: on).
+    pub fn case_insensitive(&mut self, yes: bool) -> &mut Self {
+        assert!(
+            self.patterns.is_empty(),
+            "set case_insensitive before adding patterns"
+        );
+        self.case_insensitive = yes;
+        self
+    }
+
+    /// Sets the match validation mode (default: whole-word).
+    pub fn mode(&mut self, mode: MatchMode) -> &mut Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Builds the automaton.
+    pub fn build(&self) -> Matcher {
+        let mut m = Matcher {
+            nodes: vec![Node::default()],
+            case_insensitive: self.case_insensitive,
+            mode: self.mode,
+            pattern_count: self.patterns.len(),
+            pattern_lens: self.patterns.iter().map(Vec::len).collect(),
+        };
+        for (id, pat) in self.patterns.iter().enumerate() {
+            m.insert(pat, id);
+        }
+        m.build_links();
+        m
+    }
+}
+
+/// A trie node. Children are a sparse byte → node map; 256-wide dense
+/// tables would be faster but the pattern sets here (tens of directory
+/// ids) don't justify the memory.
+#[derive(Debug, Clone, Default)]
+struct Node {
+    children: Vec<(u8, u32)>,
+    fail: u32,
+    /// Patterns ending exactly at this node.
+    output: Vec<u32>,
+    /// Next node in the output-link chain (dict suffix), 0 = none.
+    dict_link: u32,
+}
+
+impl Node {
+    fn child(&self, b: u8) -> Option<u32> {
+        self.children
+            .iter()
+            .find_map(|&(cb, n)| (cb == b).then_some(n))
+    }
+}
+
+/// The compiled multi-pattern automaton.
+#[derive(Debug, Clone)]
+pub struct Matcher {
+    nodes: Vec<Node>,
+    case_insensitive: bool,
+    mode: MatchMode,
+    pattern_count: usize,
+    pattern_lens: Vec<usize>,
+}
+
+impl Matcher {
+    /// Number of registered patterns.
+    pub fn pattern_count(&self) -> usize {
+        self.pattern_count
+    }
+
+    fn insert(&mut self, pattern: &[u8], id: usize) {
+        let mut cur = 0u32;
+        for &b in pattern {
+            cur = match self.nodes[cur as usize].child(b) {
+                Some(next) => next,
+                None => {
+                    let next = self.nodes.len() as u32;
+                    self.nodes.push(Node::default());
+                    self.nodes[cur as usize].children.push((b, next));
+                    next
+                }
+            };
+        }
+        self.nodes[cur as usize].output.push(id as u32);
+    }
+
+    /// BFS over the trie computing failure and dictionary links.
+    fn build_links(&mut self) {
+        let mut queue = std::collections::VecDeque::new();
+        // Depth-1 nodes fail to the root.
+        let root_children: Vec<(u8, u32)> = self.nodes[0].children.clone();
+        for (_, n) in root_children {
+            self.nodes[n as usize].fail = 0;
+            queue.push_back(n);
+        }
+        while let Some(cur) = queue.pop_front() {
+            let children: Vec<(u8, u32)> = self.nodes[cur as usize].children.clone();
+            for (b, child) in children {
+                // Follow failure links of `cur` until a node with a
+                // matching child (or the root).
+                let mut f = self.nodes[cur as usize].fail;
+                let fail_target = loop {
+                    if let Some(t) = self.nodes[f as usize].child(b) {
+                        break t;
+                    }
+                    if f == 0 {
+                        break 0;
+                    }
+                    f = self.nodes[f as usize].fail;
+                };
+                let fail_target = if fail_target == child { 0 } else { fail_target };
+                self.nodes[child as usize].fail = fail_target;
+                // Dictionary link: nearest suffix node with output.
+                self.nodes[child as usize].dict_link =
+                    if !self.nodes[fail_target as usize].output.is_empty() {
+                        fail_target
+                    } else {
+                        self.nodes[fail_target as usize].dict_link
+                    };
+                queue.push_back(child);
+            }
+        }
+    }
+
+    fn step(&self, mut state: u32, b: u8) -> u32 {
+        loop {
+            if let Some(next) = self.nodes[state as usize].child(b) {
+                return next;
+            }
+            if state == 0 {
+                return 0;
+            }
+            state = self.nodes[state as usize].fail;
+        }
+    }
+
+    fn boundary_ok(&self, text: &[u8], start: usize, end: usize) -> bool {
+        match self.mode {
+            MatchMode::Substring => true,
+            MatchMode::WholeWord => {
+                let is_word = |b: u8| b.is_ascii_alphanumeric() || b == b'_';
+                let left_ok = start == 0 || !is_word(text[start - 1]);
+                let right_ok = end == text.len() || !is_word(text[end]);
+                left_ok && right_ok
+            }
+        }
+    }
+
+    /// Finds all pattern occurrences in `text`, in end-position order.
+    pub fn find_all(&self, text: &str) -> Vec<Match> {
+        let bytes = text.as_bytes();
+        let mut out = Vec::new();
+        let mut state = 0u32;
+        for (i, &raw) in bytes.iter().enumerate() {
+            let b = if self.case_insensitive {
+                raw.to_ascii_lowercase()
+            } else {
+                raw
+            };
+            state = self.step(state, b);
+            // Emit outputs at this node and along the dict chain.
+            let mut node = state;
+            while node != 0 {
+                for &pid in &self.nodes[node as usize].output {
+                    let len = self.pattern_lens[pid as usize];
+                    let start = i + 1 - len;
+                    if self.boundary_ok(bytes, start, i + 1) {
+                        out.push(Match {
+                            pattern: pid as usize,
+                            start,
+                            end: i + 1,
+                        });
+                    }
+                }
+                node = self.nodes[node as usize].dict_link;
+            }
+        }
+        out
+    }
+
+    /// Distinct pattern ids occurring in `text`, ascending.
+    pub fn matched_ids(&self, text: &str) -> Vec<usize> {
+        let mut ids: Vec<usize> = self.find_all(text).iter().map(|m| m.pattern).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+
+    /// True when at least one pattern occurs in `text`.
+    pub fn contains_any(&self, text: &str) -> bool {
+        !self.find_all(text).is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matcher(patterns: &[&str], mode: MatchMode) -> Matcher {
+        let mut b = MatcherBuilder::new();
+        b.mode(mode).add_all(patterns.iter().copied());
+        b.build()
+    }
+
+    #[test]
+    fn single_pattern_all_occurrences() {
+        let m = matcher(&["abc"], MatchMode::Substring);
+        let hits = m.find_all("abcXabcabc");
+        assert_eq!(hits.len(), 3);
+        assert_eq!(
+            hits[0],
+            Match {
+                pattern: 0,
+                start: 0,
+                end: 3
+            }
+        );
+        assert_eq!(
+            hits[2],
+            Match {
+                pattern: 0,
+                start: 7,
+                end: 10
+            }
+        );
+    }
+
+    #[test]
+    fn overlapping_patterns_all_reported() {
+        let m = matcher(&["he", "she", "his", "hers"], MatchMode::Substring);
+        let hits = m.find_all("ushers");
+        // Classic example: "she" at 1..4, "he" at 2..4, "hers" at 2..6.
+        let got: Vec<(usize, usize, usize)> =
+            hits.iter().map(|h| (h.pattern, h.start, h.end)).collect();
+        assert!(got.contains(&(1, 1, 4)), "she: {got:?}");
+        assert!(got.contains(&(0, 2, 4)), "he: {got:?}");
+        assert!(got.contains(&(3, 2, 6)), "hers: {got:?}");
+        assert_eq!(hits.len(), 3);
+    }
+
+    #[test]
+    fn case_insensitive_by_default() {
+        let mut b = MatcherBuilder::new();
+        b.add("DPINotification");
+        let m = b.build();
+        assert!(m.contains_any("invoke dpinotification now"));
+        assert!(m.contains_any("(DPINOTIFICATION) notify( $p )"));
+    }
+
+    #[test]
+    fn case_sensitive_mode() {
+        let mut b = MatcherBuilder::new();
+        b.case_insensitive(false);
+        b.mode(MatchMode::Substring);
+        b.add("ABC");
+        let m = b.build();
+        assert!(m.contains_any("xxABCxx"));
+        assert!(!m.contains_any("xxabcxx"));
+    }
+
+    #[test]
+    fn whole_word_blocks_id_prefix_hits() {
+        // The paper's renamed-service trap: UPSRV must not fire inside
+        // UPSRV2, but UPSRV2 must fire.
+        let m = matcher(&["UPSRV", "UPSRV2"], MatchMode::WholeWord);
+        let ids = m.matched_ids("call (UPSRV2) update()");
+        assert_eq!(ids, vec![1]);
+        let ids = m.matched_ids("call (UPSRV) update()");
+        assert_eq!(ids, vec![0]);
+    }
+
+    #[test]
+    fn whole_word_boundaries() {
+        let m = matcher(&["notify"], MatchMode::WholeWord);
+        assert!(m.contains_any("will notify user"));
+        assert!(m.contains_any("notify"));
+        assert!(m.contains_any("[notify]"));
+        assert!(m.contains_any("fct=notify,server=x"));
+        assert!(!m.contains_any("notifyAll"));
+        assert!(!m.contains_any("renotify"));
+        assert!(!m.contains_any("notify_user"));
+    }
+
+    #[test]
+    fn matched_ids_dedups() {
+        let m = matcher(&["a b", "x"], MatchMode::Substring);
+        assert_eq!(m.matched_ids("a b a b x x"), vec![0, 1]);
+        assert!(m.matched_ids("nothing here... almost").is_empty());
+    }
+
+    #[test]
+    fn empty_pattern_rejected() {
+        let mut b = MatcherBuilder::new();
+        assert_eq!(b.add(""), None);
+        assert_eq!(b.add("ok"), Some(0));
+        assert_eq!(b.build().pattern_count(), 1);
+    }
+
+    #[test]
+    fn empty_text_and_no_patterns() {
+        let m = matcher(&[], MatchMode::WholeWord);
+        assert!(!m.contains_any("anything"));
+        let m = matcher(&["x"], MatchMode::WholeWord);
+        assert!(!m.contains_any(""));
+    }
+
+    #[test]
+    fn pattern_equal_to_whole_text() {
+        let m = matcher(&["exact"], MatchMode::WholeWord);
+        let hits = m.find_all("exact");
+        assert_eq!(
+            hits,
+            vec![Match {
+                pattern: 0,
+                start: 0,
+                end: 5
+            }]
+        );
+    }
+
+    #[test]
+    fn one_pattern_suffix_of_another() {
+        let m = matcher(&["notification", "cation"], MatchMode::Substring);
+        let hits = m.find_all("notification");
+        assert_eq!(hits.len(), 2);
+    }
+
+    #[test]
+    fn realistic_directory_scan() {
+        let ids = [
+            "DPINOTIFICATION",
+            "DPIPUBLICATION",
+            "DPIFORMIDOC",
+            "LABRESULTS",
+            "UPSRV",
+            "UPSRV2",
+        ];
+        let m = matcher(&ids, MatchMode::WholeWord);
+        let text = "Invoke externalService [fct [notify] server \
+                    [myserver.hcuge.ch:9999/dpinotification]] ok";
+        assert_eq!(m.matched_ids(text), vec![0]);
+        let text = "(DPIPUBLICATION) publish(doc) via LABRESULTS gateway";
+        assert_eq!(m.matched_ids(text), vec![1, 3]);
+    }
+
+    #[test]
+    fn non_ascii_text_is_safe() {
+        let m = matcher(&["café"], MatchMode::Substring);
+        assert!(m.contains_any("au café noir"));
+        let m = matcher(&["abc"], MatchMode::WholeWord);
+        // Multi-byte char adjacent to the match is a non-word boundary.
+        assert!(m.contains_any("é abc é"));
+    }
+}

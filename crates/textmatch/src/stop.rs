@@ -1,0 +1,177 @@
+//! Stop patterns: glob filters that suppress misleading logs.
+//!
+//! §3.3 of the paper: a call from client `C` to server `S` is often
+//! logged *by both sides*; the server-side log cites the service group it
+//! itself belongs to, which — read naively — inverts the dependency
+//! direction. Stop patterns describe those server-side log shapes; any
+//! log matching one is ignored by technique L3. The paper uses 10 stop
+//! patterns and reports that without them, inverted dependencies rise
+//! from 2 to 24 (§4.8).
+//!
+//! Patterns are globs over the whole message: `*` matches any byte
+//! sequence (including empty), `?` any single byte. Matching is ASCII
+//! case-insensitive, consistent with the citation matcher.
+
+/// A compiled set of stop patterns.
+#[derive(Debug, Clone, Default)]
+pub struct StopPatterns {
+    patterns: Vec<String>,
+}
+
+impl StopPatterns {
+    /// Creates an empty set (nothing is stopped).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Compiles a set of glob patterns.
+    pub fn new<S: AsRef<str>>(patterns: impl IntoIterator<Item = S>) -> Self {
+        Self {
+            patterns: patterns
+                .into_iter()
+                .map(|p| p.as_ref().to_ascii_lowercase())
+                .collect(),
+        }
+    }
+
+    /// Adds one more pattern.
+    pub fn add(&mut self, pattern: &str) {
+        self.patterns.push(pattern.to_ascii_lowercase());
+    }
+
+    /// Number of patterns in the set.
+    pub fn len(&self) -> usize {
+        self.patterns.len()
+    }
+
+    /// True when the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.patterns.is_empty()
+    }
+
+    /// True when `text` matches at least one stop pattern (the log
+    /// should then be ignored by the citation scan).
+    pub fn matches(&self, text: &str) -> bool {
+        let lower = text.to_ascii_lowercase();
+        self.patterns.iter().any(|p| glob_match(p, &lower))
+    }
+}
+
+/// Iterative glob matcher with `*` backtracking — O(|text|·|pattern|)
+/// worst case, linear in practice. Both inputs must already be lowercase.
+fn glob_match(pattern: &str, text: &str) -> bool {
+    let p = pattern.as_bytes();
+    let t = text.as_bytes();
+    let (mut pi, mut ti) = (0usize, 0usize);
+    let mut star: Option<(usize, usize)> = None; // (pattern pos after *, text pos)
+    while ti < t.len() {
+        // The wildcard test must precede the literal test: a text byte
+        // that happens to *be* `*` must not consume a pattern `*`.
+        if pi < p.len() && p[pi] == b'*' {
+            star = Some((pi + 1, ti));
+            pi += 1;
+        } else if pi < p.len() && (p[pi] == b'?' || p[pi] == t[ti]) {
+            pi += 1;
+            ti += 1;
+        } else if let Some((sp, st)) = star {
+            // Backtrack: let the last * absorb one more byte.
+            pi = sp;
+            ti = st + 1;
+            star = Some((sp, st + 1));
+        } else {
+            return false;
+        }
+    }
+    while pi < p.len() && p[pi] == b'*' {
+        pi += 1;
+    }
+    pi == p.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_patterns() {
+        let s = StopPatterns::new(["exact message"]);
+        assert!(s.matches("exact message"));
+        assert!(s.matches("EXACT Message"), "case-insensitive");
+        assert!(!s.matches("exact message!"), "whole-text match");
+        assert!(!s.matches("prefix exact message"));
+    }
+
+    #[test]
+    fn star_wildcards() {
+        let s = StopPatterns::new(["received call*", "*session opened by*"]);
+        assert!(s.matches("Received call from client 10.0.0.3"));
+        assert!(s.matches("received call"));
+        assert!(s.matches("[srv] session opened by alice at 9:00"));
+        assert!(!s.matches("calling out"));
+    }
+
+    #[test]
+    fn question_mark_single_byte() {
+        let s = StopPatterns::new(["worker-? started"]);
+        assert!(s.matches("worker-3 started"));
+        assert!(!s.matches("worker-42 started"));
+        assert!(!s.matches("worker- started"));
+    }
+
+    #[test]
+    fn multiple_stars_backtrack() {
+        let s = StopPatterns::new(["*incoming*request*"]);
+        assert!(s.matches("2005-12-06 incoming SOAP request id=7"));
+        assert!(s.matches("incomingrequest"));
+        assert!(!s.matches("request incoming")); // order matters
+    }
+
+    #[test]
+    fn pathological_star_runs_terminate() {
+        let s = StopPatterns::new(["*a*a*a*a*a*a*a*a*b"]);
+        let text = "a".repeat(200);
+        assert!(!s.matches(&text));
+        let good = format!("{}b", "a".repeat(200));
+        assert!(s.matches(&good));
+    }
+
+    #[test]
+    fn empty_pattern_and_empty_text() {
+        let s = StopPatterns::new([""]);
+        assert!(s.matches(""));
+        assert!(!s.matches("x"));
+        let star = StopPatterns::new(["*"]);
+        assert!(star.matches(""));
+        assert!(star.matches("anything at all"));
+    }
+
+    #[test]
+    fn empty_set_stops_nothing() {
+        let s = StopPatterns::none();
+        assert!(s.is_empty());
+        assert!(!s.matches("served request for DPINOTIFICATION"));
+    }
+
+    #[test]
+    fn add_and_len() {
+        let mut s = StopPatterns::none();
+        s.add("Serving *");
+        s.add("*handled locally");
+        assert_eq!(s.len(), 2);
+        assert!(s.matches("serving /notify for client 7"));
+        assert!(s.matches("req #88 handled locally"));
+    }
+
+    #[test]
+    fn realistic_server_side_patterns() {
+        // The shapes the HUG-style simulator emits for callee-side logs.
+        let s = StopPatterns::new([
+            "serving request*",
+            "*incoming invocation*",
+            "*request received from*",
+        ]);
+        assert!(s.matches("Serving request [fct [notify] group [DPINOTIFICATION]] for DPIFormidoc"));
+        assert!(s.matches("trace: incoming invocation of publish()"));
+        assert!(!s.matches("Invoke externalService [fct [notify] server [myserver.hcuge.ch]]"));
+    }
+}

@@ -1,0 +1,209 @@
+//! SLCT-style log message clustering.
+//!
+//! §2.2 of the paper surveys message-classification work (Vaarandi's
+//! SLCT, Teiresias) and §5 suggests "classifying log messages of a
+//! given application in a preprocessing step" to sharpen the mining.
+//! This module implements the core of Vaarandi's Simple Logfile
+//! Clustering Tool: find frequent `(position, word)` pairs, then form
+//! cluster candidates from each line's frequent words, keeping
+//! candidates with enough support. Infrequent positions become `*`
+//! wildcards.
+//!
+//! The output doubles as a *template miner*: run it over an
+//! application's messages and the stable invocation formats (the
+//! shapes stop patterns are written against) fall out.
+
+use std::collections::HashMap;
+
+/// One discovered message template.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Template {
+    /// Tokens of the template; `None` is a wildcard position.
+    pub tokens: Vec<Option<String>>,
+    /// Number of input lines supporting this template.
+    pub support: usize,
+}
+
+impl Template {
+    /// Renders the template with `*` wildcards.
+    pub fn render(&self) -> String {
+        self.tokens
+            .iter()
+            .map(|t| t.as_deref().unwrap_or("*"))
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+
+    /// True when `line` is an instance of this template (same word
+    /// count, fixed positions equal).
+    pub fn matches(&self, line: &str) -> bool {
+        let words: Vec<&str> = line.split_whitespace().collect();
+        if words.len() != self.tokens.len() {
+            return false;
+        }
+        self.tokens
+            .iter()
+            .zip(&words)
+            .all(|(t, w)| t.as_deref().is_none_or(|fixed| fixed == *w))
+    }
+}
+
+/// Parameters of the clustering pass.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClusterConfig {
+    /// Minimum occurrences for a `(position, word)` pair to be frequent.
+    pub word_support: usize,
+    /// Minimum lines matching a candidate for it to become a template.
+    pub cluster_support: usize,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        Self {
+            word_support: 10,
+            cluster_support: 10,
+        }
+    }
+}
+
+/// Clusters `lines` into templates; returns templates sorted by
+/// descending support, plus the count of outlier lines that joined no
+/// cluster.
+pub fn cluster<'a>(
+    lines: impl IntoIterator<Item = &'a str> + Clone,
+    cfg: &ClusterConfig,
+) -> (Vec<Template>, usize) {
+    // Pass 1: frequent (position, word) pairs.
+    let mut word_counts: HashMap<(usize, &str), usize> = HashMap::new();
+    for line in lines.clone() {
+        for (pos, word) in line.split_whitespace().enumerate() {
+            *word_counts.entry((pos, word)).or_insert(0) += 1;
+        }
+    }
+
+    // Pass 2: per line, build the candidate (frequent words fixed,
+    // infrequent positions wildcarded) and count identical candidates.
+    let mut candidates: HashMap<Vec<Option<&str>>, usize> = HashMap::new();
+    for line in lines.clone() {
+        let words: Vec<&str> = line.split_whitespace().collect();
+        if words.is_empty() {
+            continue;
+        }
+        let candidate: Vec<Option<&str>> = words
+            .iter()
+            .enumerate()
+            .map(|(pos, &w)| {
+                (word_counts.get(&(pos, w)).copied().unwrap_or(0) >= cfg.word_support).then_some(w)
+            })
+            .collect();
+        *candidates.entry(candidate).or_insert(0) += 1;
+    }
+
+    // Pass 3: keep supported candidates; everything else is outliers.
+    let mut templates: Vec<Template> = Vec::new();
+    let mut outliers = 0usize;
+    for (tokens, support) in candidates {
+        // A template with no fixed token is vacuous; its lines are
+        // outliers too.
+        if support >= cfg.cluster_support && tokens.iter().any(Option::is_some) {
+            templates.push(Template {
+                tokens: tokens.into_iter().map(|t| t.map(str::to_owned)).collect(),
+                support,
+            });
+        } else {
+            outliers += support;
+        }
+    }
+    templates.sort_by(|a, b| b.support.cmp(&a.support).then(a.tokens.cmp(&b.tokens)));
+    (templates, outliers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lines_vec(templates: &[(&str, usize)]) -> Vec<String> {
+        let mut v = Vec::new();
+        for (i, &(t, n)) in templates.iter().enumerate() {
+            for k in 0..n {
+                v.push(t.replace("<N>", &format!("{}", i * 1000 + k)));
+            }
+        }
+        v
+    }
+
+    #[test]
+    fn recovers_two_templates_with_wildcards() {
+        let lines = lines_vec(&[("heartbeat ok seq=<N>", 40), ("queue depth <N>", 30)]);
+        let cfg = ClusterConfig {
+            word_support: 10,
+            cluster_support: 10,
+        };
+        let (templates, outliers) = cluster(lines.iter().map(String::as_str), &cfg);
+        assert_eq!(templates.len(), 2, "{templates:?}");
+        assert_eq!(outliers, 0);
+        assert_eq!(templates[0].render(), "heartbeat ok *");
+        assert_eq!(templates[0].support, 40);
+        assert_eq!(templates[1].render(), "queue depth *");
+    }
+
+    #[test]
+    fn rare_messages_become_outliers() {
+        let mut lines = lines_vec(&[("cache purge completed", 50)]);
+        lines.push("totally unique crash message xyz".to_owned());
+        let (templates, outliers) =
+            cluster(lines.iter().map(String::as_str), &ClusterConfig::default());
+        assert_eq!(templates.len(), 1);
+        assert_eq!(outliers, 1);
+    }
+
+    #[test]
+    fn template_matching() {
+        let lines = lines_vec(&[("call returned rc=0 in <N> ms", 20)]);
+        let (templates, _) = cluster(lines.iter().map(String::as_str), &ClusterConfig::default());
+        let t = &templates[0];
+        assert!(t.matches("call returned rc=0 in 42 ms"));
+        assert!(!t.matches("call returned rc=0 in 42 seconds"));
+        assert!(!t.matches("call returned rc=0 in ms"));
+        assert_eq!(t.render(), "call returned rc=0 in * ms");
+    }
+
+    #[test]
+    fn shared_prefix_templates_stay_distinct() {
+        let lines = lines_vec(&[
+            ("user action: open tab <N>", 25),
+            ("user action: save form", 25),
+        ]);
+        let (templates, _) = cluster(lines.iter().map(String::as_str), &ClusterConfig::default());
+        assert_eq!(templates.len(), 2);
+        let rendered: Vec<String> = templates.iter().map(Template::render).collect();
+        assert!(rendered.contains(&"user action: open tab *".to_owned()));
+        assert!(rendered.contains(&"user action: save form".to_owned()));
+    }
+
+    #[test]
+    fn all_unique_lines_are_all_outliers() {
+        let lines: Vec<String> = (0..30)
+            .map(|i| format!("msg{i} alpha{i} beta{i}"))
+            .collect();
+        let (templates, outliers) =
+            cluster(lines.iter().map(String::as_str), &ClusterConfig::default());
+        assert!(templates.is_empty());
+        assert_eq!(outliers, 30);
+    }
+
+    #[test]
+    fn empty_input() {
+        let (templates, outliers) = cluster([], &ClusterConfig::default());
+        assert!(templates.is_empty());
+        assert_eq!(outliers, 0);
+    }
+
+    #[test]
+    fn supports_sorted_descending() {
+        let lines = lines_vec(&[("small cluster item <N>", 12), ("big cluster item <N>", 60)]);
+        let (templates, _) = cluster(lines.iter().map(String::as_str), &ClusterConfig::default());
+        assert!(templates[0].support >= templates[1].support);
+        assert_eq!(templates[0].support, 60);
+    }
+}

@@ -1,0 +1,89 @@
+//! Property-based tests of the text-matching substrate.
+
+use logdep_textmatch::{MatchMode, MatcherBuilder, StopPatterns};
+use proptest::prelude::*;
+
+fn ident() -> impl Strategy<Value = String> {
+    "[A-Z][A-Z0-9]{2,12}".prop_map(|s| s)
+}
+
+proptest! {
+    #[test]
+    fn matcher_finds_planted_pattern(
+        pat in ident(),
+        // Whole-word matching (the default) needs non-word flanks.
+        prefix in "[ ()\\[\\]{}.,;:!?-]{0,40}",
+        suffix in "[ ()\\[\\]{}.,;:!?-]{0,40}",
+    ) {
+        let mut b = MatcherBuilder::new();
+        b.add(&pat);
+        let m = b.build();
+        let text = format!("{prefix}{pat}{suffix}");
+        prop_assert!(m.contains_any(&text), "pattern {pat:?} not found in {text:?}");
+    }
+
+    #[test]
+    fn substring_mode_is_superset_of_whole_word(
+        pats in prop::collection::vec(ident(), 1..6),
+        text in "[A-Za-z0-9 ()\\[\\]/._-]{0,120}",
+    ) {
+        let mut bs = MatcherBuilder::new();
+        bs.mode(MatchMode::Substring).add_all(pats.iter().map(String::as_str));
+        let mut bw = MatcherBuilder::new();
+        bw.mode(MatchMode::WholeWord).add_all(pats.iter().map(String::as_str));
+        let sub = bs.build().matched_ids(&text);
+        let word = bw.build().matched_ids(&text);
+        for id in &word {
+            prop_assert!(sub.contains(id), "whole-word hit missing in substring mode");
+        }
+    }
+
+    #[test]
+    fn matches_are_well_formed(
+        pats in prop::collection::vec(ident(), 1..5),
+        text in ".{0,100}",
+    ) {
+        let mut b = MatcherBuilder::new();
+        b.mode(MatchMode::Substring).add_all(pats.iter().map(String::as_str));
+        let m = b.build();
+        for hit in m.find_all(&text) {
+            prop_assert!(hit.start < hit.end);
+            prop_assert!(hit.end <= text.len());
+            prop_assert!(hit.pattern < pats.len());
+            let slice = &text.as_bytes()[hit.start..hit.end];
+            prop_assert!(
+                slice.eq_ignore_ascii_case(pats[hit.pattern].as_bytes()),
+                "reported span does not match the pattern"
+            );
+        }
+    }
+
+    #[test]
+    fn glob_star_absorbs_arbitrary_infix(
+        head in "[a-z]{0,10}",
+        tail in "[a-z]{0,10}",
+        infix in "[a-z0-9 ]{0,30}",
+    ) {
+        let s = StopPatterns::new([format!("{}*{}", head, tail)]);
+        let text = format!("{}{}{}", head, infix, tail);
+        prop_assert!(s.matches(&text));
+    }
+
+    #[test]
+    fn literal_glob_matches_itself_only_case_insensitively(
+        text in "[a-zA-Z0-9 .,-]{1,40}",
+    ) {
+        prop_assume!(!text.contains('*') && !text.contains('?'));
+        let s = StopPatterns::new([text.clone()]);
+        prop_assert!(s.matches(&text));
+        prop_assert!(s.matches(&text.to_ascii_uppercase()));
+        let bang = format!("{}!", text);
+        prop_assert!(!s.matches(&bang));
+    }
+
+    #[test]
+    fn star_pattern_matches_everything(text in ".{0,80}") {
+        let s = StopPatterns::new(["*"]);
+        prop_assert!(s.matches(&text));
+    }
+}

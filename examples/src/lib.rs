@@ -1,0 +1,11 @@
+//! Example applications for the `logdep` workspace.
+//!
+//! This crate exists to host the runnable examples; the library itself
+//! is intentionally empty. Run them with e.g.
+//!
+//! ```text
+//! cargo run --release -p logdep-examples --example quickstart
+//! cargo run --release -p logdep-examples --example hospital_week
+//! cargo run --release -p logdep-examples --example banking_sessions
+//! cargo run --release -p logdep-examples --example soa_directory
+//! ```
