@@ -175,7 +175,7 @@ pub fn load_experiment(
     }
 
     // Regress on normalized load, as in the paper's right graph.
-    let max_logs = points.iter().map(|p| p.n_logs).max().expect("non-empty") as f64;
+    let max_logs = points.iter().map(|p| p.n_logs).max().unwrap_or(1) as f64;
     let x: Vec<f64> = points.iter().map(|p| p.n_logs as f64 / max_logs).collect();
     let fit = |y: Vec<f64>| -> crate::Result<(Interval, Vec<(f64, f64)>)> {
         let f = linear_fit(&x, &y)?;

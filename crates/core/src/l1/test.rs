@@ -56,7 +56,7 @@ fn summarize(mut dists: Vec<f64>, cfg: &L1Config) -> Option<DistanceSamples> {
     if dists.len() < 10 {
         return None;
     }
-    dists.sort_by(|a, b| a.partial_cmp(b).expect("distances are finite"));
+    dists.sort_by(|a, b| a.total_cmp(b));
     match cfg.stat {
         CenterStat::Median => {
             let ci = order_stats::median_ci_sorted(&dists, cfg.ci_level).ok()?;

@@ -122,21 +122,11 @@ impl LogStore {
     /// store (Table 1 of the paper).
     pub fn counts_per_day(&self) -> Vec<(i64, usize)> {
         self.assert_finalized();
-        if self.records.is_empty() {
+        let (Some(first_rec), Some(last_rec)) = (self.records.first(), self.records.last()) else {
             return Vec::new();
-        }
-        let first = self
-            .records
-            .first()
-            .expect("non-empty")
-            .client_ts
-            .day_index();
-        let last = self
-            .records
-            .last()
-            .expect("non-empty")
-            .client_ts
-            .day_index();
+        };
+        let first = first_rec.client_ts.day_index();
+        let last = last_rec.client_ts.day_index();
         (first..=last)
             .map(|d| (d, self.range(TimeRange::day(d)).len()))
             .collect()

@@ -25,6 +25,13 @@ pub const MS_PER_HOUR: i64 = 60 * MS_PER_MIN;
 /// Milliseconds per day.
 pub const MS_PER_DAY: i64 = 24 * MS_PER_HOUR;
 
+/// [`MS_PER_SEC`] as `f64`, for fractional-second conversions.
+// lint:allow(lossy-time-cast) — exactly representable in f64 (< 2^53)
+pub const MS_PER_SEC_F64: f64 = MS_PER_SEC as f64;
+/// [`MS_PER_DAY`] as `f64`, for day-fraction conversions.
+// lint:allow(lossy-time-cast) — exactly representable in f64 (< 2^53)
+pub const MS_PER_DAY_F64: f64 = MS_PER_DAY as f64;
+
 impl Millis {
     /// Zero milliseconds (the scenario epoch itself).
     pub const ZERO: Millis = Millis(0);
@@ -36,7 +43,7 @@ impl Millis {
 
     /// Constructs from fractional seconds (rounded to the nearest ms).
     pub fn from_secs_f64(s: f64) -> Self {
-        Millis((s * MS_PER_SEC as f64).round() as i64)
+        Millis((s * MS_PER_SEC_F64).round() as i64)
     }
 
     /// Constructs from whole hours.
@@ -56,7 +63,7 @@ impl Millis {
 
     /// Value in (fractional) seconds.
     pub fn as_secs_f64(self) -> f64 {
-        self.0 as f64 / MS_PER_SEC as f64
+        self.0 as f64 / MS_PER_SEC_F64
     }
 
     /// Zero-based day index since the epoch (negative times floor).
@@ -66,6 +73,7 @@ impl Millis {
 
     /// Hour of day, `0..24`.
     pub fn hour_of_day(self) -> u8 {
+        // lint:allow(lossy-time-cast) — rem_euclid bounds the value to 0..24
         (self.0.rem_euclid(MS_PER_DAY) / MS_PER_HOUR) as u8
     }
 
@@ -76,7 +84,8 @@ impl Millis {
 
     /// Fraction of the day elapsed, in `[0, 1)`.
     pub fn day_fraction(self) -> f64 {
-        self.0.rem_euclid(MS_PER_DAY) as f64 / MS_PER_DAY as f64
+        // lint:allow(lossy-time-cast) — bounded to [0, MS_PER_DAY), exact in f64
+        self.0.rem_euclid(MS_PER_DAY) as f64 / MS_PER_DAY_F64
     }
 
     /// Saturating absolute difference in milliseconds.

@@ -98,11 +98,15 @@ impl Timeline {
     /// across `range` (the data behind Figure 1 of the paper).
     pub fn counts_per_bin(&self, range: TimeRange, bin_ms: i64) -> Vec<usize> {
         assert!(bin_ms > 0, "non-positive bin width");
-        let n_bins = ((range.len_ms() + bin_ms - 1) / bin_ms) as usize;
+        let n_bins = usize::try_from((range.len_ms() + bin_ms - 1) / bin_ms).unwrap_or(0);
         let mut bins = vec![0usize; n_bins];
         for &p in self.slice_in(range) {
-            let idx = ((p - range.start) / bin_ms) as usize;
-            bins[idx] += 1;
+            let Ok(idx) = usize::try_from((p - range.start) / bin_ms) else {
+                continue;
+            };
+            if let Some(bin) = bins.get_mut(idx) {
+                *bin += 1;
+            }
         }
         bins
     }

@@ -67,11 +67,13 @@ pub struct Session {
 impl Session {
     /// Session start (timestamp of the first entry).
     pub fn start(&self) -> Millis {
+        // lint:allow(no-panic-in-lib) — reconstruction never emits empty sessions
         self.entries.first().expect("sessions are non-empty").ts
     }
 
     /// Session end (timestamp of the last entry).
     pub fn end(&self) -> Millis {
+        // lint:allow(no-panic-in-lib) — reconstruction never emits empty sessions
         self.entries.last().expect("sessions are non-empty").ts
     }
 

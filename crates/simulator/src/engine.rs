@@ -232,8 +232,7 @@ impl<'a> Engine<'a> {
                 topo.edges[b]
                     .freq
                     .weight()
-                    .partial_cmp(&topo.edges[a].freq.weight())
-                    .expect("weights are finite")
+                    .total_cmp(&topo.edges[a].freq.weight())
             });
             let e = |k: usize| edges.get(k).copied();
             let mut combos: Vec<Vec<usize>> = Vec::new();
@@ -455,10 +454,9 @@ impl<'a> Engine<'a> {
         };
         if depth < 3 {
             let flaky_deep = self.flaky_by_top.get(&edge_idx).copied();
-            let fail = flaky_deep.is_some()
-                && rng.gen_bool(self.cfg.noise.stacktrace_failure_prob.clamp(0.0, 1.0));
-            if fail {
-                let deep_idx = flaky_deep.expect("fail implies chain");
+            let failing_chain = flaky_deep
+                .filter(|_| rng.gen_bool(self.cfg.noise.stacktrace_failure_prob.clamp(0.0, 1.0)));
+            if let Some(deep_idx) = failing_chain {
                 self.generate_call(day, deep_idx, activity_t + 2, ctx, depth + 1, rng);
                 // The failure propagates: the *top* caller logs the
                 // exception trace citing the deep service (§4.8).

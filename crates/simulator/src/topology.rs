@@ -422,7 +422,11 @@ impl Topology {
                 continue; // one rename per service
             }
             let old = services[svc].id.clone();
-            services[svc].id = format!("{old}2");
+            let renamed = format!("{old}2");
+            if services.iter().any(|s| s.id == renamed) {
+                continue; // the suffix scheme already minted this id
+            }
+            services[svc].id = renamed;
             services[svc].old_id = Some(old);
             edges[ei].citation = CitationStyle::Renamed;
             taken += 1;

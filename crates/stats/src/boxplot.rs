@@ -44,7 +44,7 @@ pub fn summarize(xs: &[f64], primary_level: f64, secondary_level: f64) -> Result
         return Err(StatsError::EmptySample);
     }
     let mut sorted = xs.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN checked"));
+    sorted.sort_by(|a, b| a.total_cmp(b));
     let ci1 = order_stats::median_ci_sorted(&sorted, primary_level)?;
     let ci2 = order_stats::median_ci_sorted(&sorted, secondary_level)?;
     Ok(BoxplotSummary {

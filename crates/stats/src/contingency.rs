@@ -40,35 +40,54 @@ impl Table2x2 {
     /// count `f1 = #(a = A)`, second-margin count `f2 = #(b = B)`, and
     /// total `n` — the `(f, f1, f2, N)` notation of Evert's UCS toolkit.
     ///
-    /// Returns an error unless `f ≤ f1, f ≤ f2` and `f1 + f2 − f ≤ n`.
+    /// Returns an error unless `f ≤ f1, f ≤ f2` and `f1 + f2 − f ≤ n`
+    /// (including when `f1 + f2` would overflow `u64`).
     pub fn from_marginals(f: u64, f1: u64, f2: u64, n: u64) -> Result<Self> {
-        if f > f1 || f > f2 || f1 + f2 - f > n {
-            return Err(StatsError::InvalidParameter {
-                name: "marginals",
-                value: f as f64,
-            });
+        let invalid = || StatsError::InvalidParameter {
+            name: "marginals",
+            value: f as f64,
+        };
+        if f > f1 || f > f2 {
+            return Err(invalid());
+        }
+        // `f ≤ f1` makes the subtraction safe once the addition checks out.
+        let union = f1.checked_add(f2).map(|s| s - f).ok_or_else(invalid)?;
+        if union > n {
+            return Err(invalid());
         }
         Ok(Self {
             o11: f,
             o12: f2 - f,
             o21: f1 - f,
-            o22: n + f - f1 - f2,
+            o22: n - union,
         })
     }
 
-    /// Total number of observations.
+    /// Total number of observations (saturating: tables near `u64::MAX`
+    /// clamp rather than overflow).
     pub fn n(&self) -> u64 {
-        self.o11 + self.o12 + self.o21 + self.o22
+        self.o11
+            .saturating_add(self.o12)
+            .saturating_add(self.o21)
+            .saturating_add(self.o22)
     }
 
-    /// Row sums `(o11 + o12, o21 + o22)` — the `b = B` / `b ≠ B` margins.
+    /// Row sums `(o11 + o12, o21 + o22)` — the `b = B` / `b ≠ B` margins
+    /// (saturating, like [`Table2x2::n`]).
     pub fn row_sums(&self) -> (u64, u64) {
-        (self.o11 + self.o12, self.o21 + self.o22)
+        (
+            self.o11.saturating_add(self.o12),
+            self.o21.saturating_add(self.o22),
+        )
     }
 
-    /// Column sums `(o11 + o21, o12 + o22)` — the `a = A` / `a ≠ A` margins.
+    /// Column sums `(o11 + o21, o12 + o22)` — the `a = A` / `a ≠ A` margins
+    /// (saturating, like [`Table2x2::n`]).
     pub fn col_sums(&self) -> (u64, u64) {
-        (self.o11 + self.o21, self.o12 + self.o22)
+        (
+            self.o11.saturating_add(self.o21),
+            self.o12.saturating_add(self.o22),
+        )
     }
 
     /// Expected counts under independence, `E_ij = R_i · C_j / N`.

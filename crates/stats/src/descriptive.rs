@@ -45,7 +45,7 @@ pub fn quantile(xs: &[f64], q: f64) -> Result<f64> {
         return Err(StatsError::InvalidLevel(q));
     }
     let mut sorted = xs.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN checked"));
+    sorted.sort_by(|a, b| a.total_cmp(b));
     Ok(quantile_sorted_unchecked(&sorted, q))
 }
 

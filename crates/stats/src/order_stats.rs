@@ -47,7 +47,7 @@ pub struct QuantileCi {
 pub fn quantile_ci(sample: &[f64], q: f64, level: f64) -> Result<QuantileCi> {
     check_no_nan(sample)?;
     let mut sorted = sample.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN checked above"));
+    sorted.sort_by(|a, b| a.total_cmp(b));
     quantile_ci_sorted(&sorted, q, level)
 }
 

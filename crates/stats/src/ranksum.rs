@@ -56,7 +56,7 @@ pub fn rank_sum(xs: &[f64], ys: &[f64], alternative: RankSumAlternative) -> Resu
         .map(|&v| (v, true))
         .chain(ys.iter().map(|&v| (v, false)))
         .collect();
-    pooled.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("NaN checked"));
+    pooled.sort_by(|a, b| a.0.total_cmp(&b.0));
     let n = pooled.len();
     let mut rank_sum_x = 0.0_f64;
     let mut tie_term = 0.0_f64;

@@ -100,7 +100,7 @@ impl Fit {
             .iter()
             .map(|r| r / self.residual_sd)
             .collect();
-        std_res.sort_by(|a, b| a.partial_cmp(b).expect("residuals finite"));
+        std_res.sort_by(|a, b| a.total_cmp(b));
         let mut pts = Vec::with_capacity(n);
         for (i, r) in std_res.into_iter().enumerate() {
             // Blom plotting positions.

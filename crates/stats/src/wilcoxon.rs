@@ -65,12 +65,7 @@ pub fn signed_rank(diffs: &[f64], alternative: Alternative) -> Result<SignedRank
 
     // Midranks of |d|.
     let mut idx: Vec<usize> = (0..n).collect();
-    idx.sort_by(|&a, &b| {
-        nonzero[a]
-            .abs()
-            .partial_cmp(&nonzero[b].abs())
-            .expect("NaN filtered")
-    });
+    idx.sort_by(|&a, &b| nonzero[a].abs().total_cmp(&nonzero[b].abs()));
     let mut ranks = vec![0.0_f64; n];
     let mut ties: Vec<usize> = Vec::new();
     let mut i = 0;

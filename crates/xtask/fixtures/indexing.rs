@@ -1,0 +1,13 @@
+//! Seeded violations for the unchecked-indexing rule.
+
+pub fn seeded(xs: &[u32], i: usize, j: usize) -> u32 {
+    let a = xs[i];
+    let b = xs[j + 1];
+    a + b
+}
+
+pub fn fine(xs: &[u32; 4]) -> u32 {
+    let first = xs[0];
+    let all = &xs[..];
+    first + all.len() as u32
+}

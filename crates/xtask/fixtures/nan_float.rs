@@ -1,0 +1,15 @@
+//! Seeded violations for the nan-unsafe-float rule.
+
+pub fn comparator_uses_partial_cmp(xs: &mut [f64]) {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+}
+
+pub fn chained_unwrap(a: f64, b: f64) -> std::cmp::Ordering {
+    a.partial_cmp(&b).unwrap()
+}
+
+// NaN-safe: the sort below must not be flagged.
+pub fn fine(xs: &mut [f64]) {
+    let _first = xs.first();
+    xs.sort_by(|a, b| a.total_cmp(b));
+}

@@ -1,0 +1,25 @@
+//! Seeded violations for the no-panic-in-lib rule: one per panic form.
+
+pub fn seeded(x: Option<u32>, y: Result<u32, ()>) -> u32 {
+    let a = x.unwrap();
+    let b = y.expect("value");
+    if a == 0 {
+        panic!("zero");
+    }
+    if b == 1 {
+        unimplemented!()
+    }
+    todo!()
+}
+
+pub fn fine(x: Option<u32>) -> u32 {
+    x.unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn exempt() {
+        Some(1).unwrap();
+    }
+}

@@ -1,0 +1,13 @@
+//! Seeded violation for the result-api rule.
+
+pub fn hidden_panic(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+pub fn surfaced(x: Option<u32>) -> Result<u32, String> {
+    x.ok_or_else(|| "missing".to_string())
+}
+
+fn private_helper(x: Option<u32>) -> u32 {
+    x.unwrap()
+}

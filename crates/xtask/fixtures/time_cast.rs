@@ -1,0 +1,12 @@
+//! Seeded violations for the lossy-time-cast rule.
+
+pub fn seeded(ts: i64, duration_ms: u128) -> (u32, u64, i64) {
+    let a = ts as u32;
+    let b = duration_ms as u64;
+    let c = std::time::Duration::from_secs(1).as_millis() as i64;
+    (a, b, c)
+}
+
+pub fn fine(count: usize) -> u64 {
+    count as u64
+}

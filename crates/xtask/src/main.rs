@@ -1,0 +1,310 @@
+//! Workspace automation tasks, invoked as `cargo xtask <command>`.
+//!
+//! The only command today is `lint`, the custom static-analysis pass
+//! described in DESIGN.md's "Lint registry" section: it lexes every
+//! workspace `.rs` file and enforces the panic-hygiene and numeric-
+//! robustness rules the paper-reproduction code relies on.
+//!
+//! ```text
+//! cargo xtask lint                 # human-readable report, exit 1 on deny
+//! cargo xtask lint --format json   # machine-readable report (CI)
+//! cargo xtask lint --list          # print the rule registry
+//! cargo xtask lint --root <dir>    # lint a different tree (tests)
+//! ```
+
+mod lexer;
+mod lint;
+
+use lint::{Diagnostic, Severity, RULES};
+use serde_json::Value;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => run_lint(&args[1..]),
+        Some(other) => {
+            eprintln!("unknown command `{other}`; available: lint");
+            ExitCode::FAILURE
+        }
+        None => {
+            eprintln!("usage: cargo xtask lint [--format human|json] [--list] [--root <dir>]");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[derive(Debug, PartialEq, Eq)]
+enum Format {
+    Human,
+    Json,
+}
+
+fn run_lint(args: &[String]) -> ExitCode {
+    let mut format = Format::Human;
+    let mut root: Option<PathBuf> = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--format" => match iter.next().map(String::as_str) {
+                Some("human") => format = Format::Human,
+                Some("json") => format = Format::Json,
+                other => {
+                    eprintln!("--format expects `human` or `json`, got {other:?}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--list" => {
+                for rule in RULES {
+                    println!(
+                        "{:<20} {:<5} [{}]  {}",
+                        rule.name,
+                        rule.severity.as_str(),
+                        rule.scope.join(", "),
+                        rule.summary
+                    );
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--root" => match iter.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("--root expects a directory");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!("unknown lint option `{other}`");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let root = root.unwrap_or_else(workspace_root);
+    let files = collect_rs_files(&root);
+    let mut diagnostics: Vec<Diagnostic> = Vec::new();
+    for file in &files {
+        let rel = relative_label(&root, file);
+        match std::fs::read_to_string(file) {
+            Ok(src) => diagnostics.extend(lint::lint_source(&rel, &src)),
+            Err(err) => eprintln!("warning: could not read {rel}: {err}"),
+        }
+    }
+    diagnostics.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+
+    let denies = diagnostics
+        .iter()
+        .filter(|d| d.severity == Severity::Deny)
+        .count();
+    let warns = diagnostics.len() - denies;
+
+    match format {
+        Format::Human => {
+            for d in &diagnostics {
+                println!(
+                    "{}:{} {}[{}]: {}",
+                    d.file,
+                    d.line,
+                    d.severity.as_str(),
+                    d.rule,
+                    d.message
+                );
+            }
+            println!(
+                "lint: {} files scanned, {denies} deny, {warns} warn",
+                files.len()
+            );
+        }
+        Format::Json => {
+            let report = Value::Object(vec![
+                ("files_scanned".into(), Value::U64(files.len() as u64)),
+                ("deny".into(), Value::U64(denies as u64)),
+                ("warn".into(), Value::U64(warns as u64)),
+                (
+                    "diagnostics".into(),
+                    Value::Array(diagnostics.iter().map(diag_to_value).collect()),
+                ),
+            ]);
+            match serde_json::to_string_pretty(&report) {
+                Ok(text) => println!("{text}"),
+                Err(err) => {
+                    eprintln!("could not serialize report: {err}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    }
+
+    if denies > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn diag_to_value(d: &Diagnostic) -> Value {
+    Value::Object(vec![
+        ("rule".into(), Value::Str(d.rule.to_string())),
+        ("severity".into(), Value::Str(d.severity.as_str().into())),
+        ("file".into(), Value::Str(d.file.clone())),
+        ("line".into(), Value::U64(u64::from(d.line))),
+        ("message".into(), Value::Str(d.message.clone())),
+    ])
+}
+
+/// The workspace root: two levels above this crate's manifest dir.
+fn workspace_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(Path::parent)
+        .map(Path::to_path_buf)
+        .unwrap_or(manifest)
+}
+
+/// Directory names never descended into.
+const SKIP_DIRS: &[&str] = &[
+    "target",
+    "vendor",
+    ".git",
+    ".cargo",
+    "fixtures",
+    "node_modules",
+];
+
+/// All `.rs` files under `root`, depth-first, skipping build output,
+/// vendored stand-ins, and lint fixtures.
+fn collect_rs_files(root: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let entries = match std::fs::read_dir(&dir) {
+            Ok(entries) => entries,
+            Err(_) => continue,
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if path.is_dir() {
+                if !SKIP_DIRS.contains(&name.as_ref()) && !name.starts_with('.') {
+                    stack.push(path);
+                }
+            } else if name.ends_with(".rs") {
+                out.push(path);
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+/// Repo-relative, `/`-separated label for diagnostics.
+fn relative_label(root: &Path, file: &Path) -> String {
+    file.strip_prefix(root)
+        .unwrap_or(file)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+#[cfg(test)]
+mod fixture_tests {
+    //! End-to-end checks over the seeded-violation fixture files in
+    //! `crates/xtask/fixtures/`. Each fixture is linted as if it lived
+    //! in a scoped crate, and must produce exactly the violations it
+    //! seeds.
+
+    use crate::lint::{lint_source, rule, Severity};
+
+    fn fixture(name: &str) -> String {
+        let path = format!("{}/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
+        std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"))
+    }
+
+    #[test]
+    fn registry_is_well_formed() {
+        for info in crate::lint::RULES {
+            assert!(rule(info.name).is_some());
+            assert!(!info.scope.is_empty(), "{} has no scope", info.name);
+            assert!(!info.summary.is_empty());
+        }
+        assert_eq!(
+            rule("no-panic-in-lib").map(|r| r.severity),
+            Some(Severity::Deny)
+        );
+        assert_eq!(rule("result-api").map(|r| r.severity), Some(Severity::Warn));
+    }
+
+    #[test]
+    fn catches_panic_sites() {
+        let diags = lint_source("crates/stats/src/fixture.rs", &fixture("panic_sites.rs"));
+        let lines: Vec<u32> = diags
+            .iter()
+            .filter(|d| d.rule == "no-panic-in-lib")
+            .map(|d| d.line)
+            .collect();
+        // Seeded: unwrap, expect, panic!, unimplemented!, todo! — one each.
+        assert_eq!(lines.len(), 5, "diags: {diags:?}");
+    }
+
+    #[test]
+    fn catches_nan_unsafe_comparators() {
+        let diags = lint_source("crates/stats/src/fixture.rs", &fixture("nan_float.rs"));
+        let nan: Vec<_> = diags
+            .iter()
+            .filter(|d| d.rule == "nan-unsafe-float")
+            .collect();
+        assert_eq!(nan.len(), 2, "diags: {diags:?}");
+        // The total_cmp sort must NOT be flagged.
+        assert!(
+            nan.iter().all(|d| d.line != 14),
+            "total_cmp flagged: {nan:?}"
+        );
+    }
+
+    #[test]
+    fn catches_lossy_time_casts() {
+        let diags = lint_source("crates/logstore/src/fixture.rs", &fixture("time_cast.rs"));
+        let casts: Vec<_> = diags
+            .iter()
+            .filter(|d| d.rule == "lossy-time-cast")
+            .collect();
+        assert_eq!(casts.len(), 3, "diags: {diags:?}");
+    }
+
+    #[test]
+    fn catches_result_api_violations() {
+        let diags = lint_source("crates/core/src/fixture.rs", &fixture("result_api.rs"));
+        let api: Vec<_> = diags.iter().filter(|d| d.rule == "result-api").collect();
+        assert_eq!(api.len(), 1, "diags: {diags:?}");
+        assert!(api[0].message.contains("hidden_panic"));
+    }
+
+    #[test]
+    fn catches_runtime_indexing_but_not_literals() {
+        let diags = lint_source("crates/sessions/src/fixture.rs", &fixture("indexing.rs"));
+        let idx: Vec<_> = diags
+            .iter()
+            .filter(|d| d.rule == "unchecked-indexing")
+            .collect();
+        assert_eq!(idx.len(), 2, "diags: {diags:?}");
+    }
+
+    #[test]
+    fn suppressions_silence_seeded_violations() {
+        let diags = lint_source("crates/stats/src/fixture.rs", &fixture("suppressed.rs"));
+        assert!(
+            diags.iter().all(|d| d.severity != Severity::Deny),
+            "diags: {diags:?}"
+        );
+    }
+
+    #[test]
+    fn out_of_scope_crates_are_untouched() {
+        let diags = lint_source("crates/cli/src/fixture.rs", &fixture("panic_sites.rs"));
+        assert!(diags.is_empty(), "cli is not a lib crate: {diags:?}");
+    }
+}

@@ -1,0 +1,220 @@
+//! Offline vendored stand-in for the `criterion` crate.
+//!
+//! Implements the API surface the workspace benches use (`Criterion`,
+//! `benchmark_group`, `bench_function`, `bench_with_input`,
+//! `BenchmarkId`, `Throughput`, `black_box`, `criterion_group!`,
+//! `criterion_main!`) with a simple wall-clock harness: a warm-up run,
+//! then `sample_size` timed samples, reporting min / median / max per
+//! benchmark. No plots, no statistics beyond that — enough to compare
+//! hot paths across commits offline.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter` identifier.
+    pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Identifier from the parameter alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+/// Top-level harness handle.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            sample_size: 20,
+            throughput: None,
+        }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl fmt::Display, mut f: F) {
+        run_benchmark(&id.to_string(), 20, None, |b| f(b));
+    }
+}
+
+/// A group of benchmarks sharing throughput and sampling settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Declares the work performed per iteration.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmarks `f`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl fmt::Display,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id);
+        run_benchmark(&label, self.sample_size, self.throughput, |b| f(b));
+        self
+    }
+
+    /// Benchmarks `f` against a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.id);
+        run_benchmark(&label, self.sample_size, self.throughput, |b| f(b, input));
+        self
+    }
+
+    /// Finishes the group (report flushing is immediate here, so this is
+    /// a no-op kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Timing handle passed to benchmark closures.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters_per_sample {
+            black_box(routine());
+        }
+        self.samples
+            .push(start.elapsed() / self.iters_per_sample as u32);
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    label: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    // Warm-up sample to settle caches and pick an iteration count that
+    // keeps each sample around a few milliseconds.
+    let mut warm = Bencher {
+        samples: Vec::new(),
+        iters_per_sample: 1,
+    };
+    f(&mut warm);
+    let per_iter = warm.samples.first().copied().unwrap_or(Duration::ZERO);
+    let iters = if per_iter > Duration::from_millis(5) || per_iter.is_zero() {
+        1
+    } else {
+        (Duration::from_millis(5).as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 10_000) as u64
+    };
+
+    let mut bencher = Bencher {
+        samples: Vec::new(),
+        iters_per_sample: iters,
+    };
+    for _ in 0..sample_size {
+        f(&mut bencher);
+    }
+    bencher.samples.sort_unstable();
+    let min = bencher.samples.first().copied().unwrap_or_default();
+    let med = bencher.samples[bencher.samples.len() / 2];
+    let max = bencher.samples.last().copied().unwrap_or_default();
+    match throughput {
+        Some(Throughput::Elements(n)) => {
+            let rate = n as f64 / med.as_secs_f64().max(f64::MIN_POSITIVE);
+            println!("{label:<48} {min:>10.2?} {med:>10.2?} {max:>10.2?}  ({rate:.0} elem/s)");
+        }
+        Some(Throughput::Bytes(n)) => {
+            let rate = n as f64 / med.as_secs_f64().max(f64::MIN_POSITIVE) / 1e6;
+            println!("{label:<48} {min:>10.2?} {med:>10.2?} {max:>10.2?}  ({rate:.1} MB/s)");
+        }
+        None => println!("{label:<48} {min:>10.2?} {med:>10.2?} {max:>10.2?}"),
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+    (name = $group:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        $crate::criterion_group!($group, $($target),+);
+    };
+}
+
+/// Declares the benchmark binary entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

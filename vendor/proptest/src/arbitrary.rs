@@ -1,0 +1,101 @@
+//! `any::<T>()` strategies for primitives.
+//!
+//! Float strategies deliberately include the nasty values (NaN, the
+//! infinities, signed zero) a few percent of the time — the workspace's
+//! robustness suites rely on that to exercise NaN-safety paths.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::Rng;
+use std::fmt::Debug;
+use std::marker::PhantomData;
+
+/// Strategy generating arbitrary values of `T`.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy {
+        marker: PhantomData,
+    }
+}
+
+/// Types with a default "anything goes" strategy.
+pub trait Arbitrary: Sized + Debug {
+    /// Generates one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// See [`any`].
+pub struct AnyStrategy<T> {
+    marker: PhantomData<T>,
+}
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! arb_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                // Mix full-range values with small ones so boundary-heavy
+                // code paths (0, 1, small counts) are exercised often.
+                if rng.rng.gen_bool(0.5) {
+                    rng.rng.gen::<u64>() as $t
+                } else {
+                    (rng.rng.gen::<u64>() % 16) as $t
+                }
+            }
+        }
+    )*};
+}
+
+arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.rng.gen_bool(0.5)
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        let pick = rng.rng.gen_range(0u32..100);
+        match pick {
+            0..=2 => f64::NAN,
+            3 => f64::INFINITY,
+            4 => f64::NEG_INFINITY,
+            5 => -0.0,
+            6 => 0.0,
+            7 => f64::MIN_POSITIVE,
+            8 => f64::MAX,
+            _ => {
+                // Log-uniform magnitude over ±1e±12 keeps both tiny and
+                // huge values common.
+                let mag = 10f64.powf(rng.rng.gen_range(-12.0..12.0));
+                let sign = if rng.rng.gen_bool(0.5) { 1.0 } else { -1.0 };
+                sign * mag
+            }
+        }
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        f64::arbitrary(rng) as f32
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        char::from(rng.rng.gen_range(0x20u8..0x7f))
+    }
+}
+
+impl Arbitrary for String {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        let n = rng.rng.gen_range(0usize..40);
+        (0..n).map(|_| char::arbitrary(rng)).collect()
+    }
+}

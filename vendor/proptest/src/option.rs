@@ -1,0 +1,32 @@
+//! `Option` strategies (`prop::option`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::Rng;
+use std::fmt::Debug;
+
+/// Strategy yielding `Some` from `inner` three times out of four,
+/// `None` otherwise (matching real proptest's default weighting).
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+/// See [`of`].
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S>
+where
+    S::Value: Debug,
+{
+    type Value = Option<S::Value>;
+
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+        if rng.rng.gen_bool(0.75) {
+            Some(self.inner.new_value(rng))
+        } else {
+            None
+        }
+    }
+}

@@ -1,0 +1,174 @@
+//! Regex-lite string generation for string-literal strategies.
+//!
+//! Supports the pattern shapes used as strategies in this workspace:
+//! sequences of atoms, where an atom is a character class `[...]`
+//! (ranges, escapes, trailing literal `-`), a dot (any printable ASCII),
+//! or a literal character, each optionally quantified with `{n}`,
+//! `{lo,hi}`, `*`, `+`, or `?`.
+
+use crate::test_runner::TestRng;
+use rand::Rng;
+
+enum Atom {
+    /// Set of candidate characters.
+    Class(Vec<char>),
+    /// Any printable ASCII character (the `.` atom).
+    Dot,
+    /// One fixed character.
+    Literal(char),
+}
+
+struct Quantified {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+/// Generates one string matching `pattern`.
+pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+    let atoms = parse(pattern);
+    let mut out = String::new();
+    for q in &atoms {
+        let n = if q.min == q.max {
+            q.min
+        } else {
+            rng.rng.gen_range(q.min..=q.max)
+        };
+        for _ in 0..n {
+            out.push(match &q.atom {
+                Atom::Class(chars) => chars[rng.rng.gen_range(0..chars.len())],
+                Atom::Dot => char::from(rng.rng.gen_range(0x20u8..0x7f)),
+                Atom::Literal(c) => *c,
+            });
+        }
+    }
+    out
+}
+
+fn parse(pattern: &str) -> Vec<Quantified> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut i = 0;
+    let mut out = Vec::new();
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '[' => {
+                let (set, next) = parse_class(&chars, i + 1);
+                i = next;
+                Atom::Class(set)
+            }
+            '.' => {
+                i += 1;
+                Atom::Dot
+            }
+            '\\' => {
+                i += 2;
+                Atom::Literal(*chars.get(i - 1).unwrap_or(&'\\'))
+            }
+            c => {
+                i += 1;
+                Atom::Literal(c)
+            }
+        };
+        let (min, max, next) = parse_quantifier(&chars, i);
+        i = next;
+        out.push(Quantified { atom, min, max });
+    }
+    out
+}
+
+fn parse_class(chars: &[char], mut i: usize) -> (Vec<char>, usize) {
+    let mut set = Vec::new();
+    while i < chars.len() && chars[i] != ']' {
+        let c = if chars[i] == '\\' {
+            i += 1;
+            *chars.get(i).unwrap_or(&'\\')
+        } else {
+            chars[i]
+        };
+        // `a-z` range (a `-` not in last position and not escaped).
+        if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+            let hi = chars[i + 2];
+            for code in (c as u32)..=(hi as u32) {
+                if let Some(ch) = char::from_u32(code) {
+                    set.push(ch);
+                }
+            }
+            i += 3;
+        } else {
+            set.push(c);
+            i += 1;
+        }
+    }
+    assert!(!set.is_empty(), "empty character class in pattern");
+    (set, i + 1) // skip the closing ']'
+}
+
+fn parse_quantifier(chars: &[char], i: usize) -> (usize, usize, usize) {
+    match chars.get(i) {
+        Some('{') => {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .map(|p| i + p)
+                .expect("unclosed `{` quantifier");
+            let body: String = chars[i + 1..close].iter().collect();
+            let (min, max) = match body.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.trim().parse().expect("bad quantifier lower bound"),
+                    hi.trim().parse().expect("bad quantifier upper bound"),
+                ),
+                None => {
+                    let n = body.trim().parse().expect("bad quantifier count");
+                    (n, n)
+                }
+            };
+            (min, max, close + 1)
+        }
+        Some('*') => (0, 8, i + 1),
+        Some('+') => (1, 8, i + 1),
+        Some('?') => (0, 1, i + 1),
+        _ => (1, 1, i),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    fn rng() -> TestRng {
+        TestRng::for_test("string_tests", 42)
+    }
+
+    #[test]
+    fn class_with_ranges_and_escapes() {
+        let mut rng = rng();
+        for _ in 0..200 {
+            let s = generate("[A-Za-z0-9 ()\\[\\]._-]{0,40}", &mut rng);
+            assert!(s.len() <= 40);
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || " ()[]._-".contains(c)));
+        }
+    }
+
+    #[test]
+    fn exact_count_and_leading_class() {
+        let mut rng = rng();
+        for _ in 0..100 {
+            let s = generate("[A-Z][A-Z0-9]{2,12}", &mut rng);
+            assert!((3..=13).contains(&s.len()));
+            assert!(s.chars().next().unwrap().is_ascii_uppercase());
+        }
+    }
+
+    #[test]
+    fn dot_is_printable_ascii() {
+        let mut rng = rng();
+        for _ in 0..100 {
+            let s = generate(".{0,100}", &mut rng);
+            assert!(s.len() <= 100);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! The deterministic property-test runner.
+
+use crate::strategy::Strategy;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt::Debug;
+
+/// Per-test configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 96 }
+    }
+}
+
+/// Why a single generated case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// `prop_assume!` failed — skip this case without counting it.
+    Reject,
+    /// `prop_assert!` failed — the property is violated.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Constructs the failure variant.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError::Fail(message.into())
+    }
+}
+
+/// The RNG handed to strategies.
+///
+/// Wraps the vendored [`StdRng`] so strategy implementations don't need
+/// the rand traits in scope.
+pub struct TestRng {
+    /// Underlying generator.
+    pub rng: StdRng,
+}
+
+impl TestRng {
+    /// Deterministic RNG for `test_name`, case number `case`.
+    pub fn for_test(test_name: &str, case: u64) -> Self {
+        let mut seed: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            seed ^= u64::from(b);
+            seed = seed.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng {
+            rng: StdRng::seed_from_u64(seed ^ case.wrapping_mul(0x9e37_79b9_7f4a_7c15)),
+        }
+    }
+}
+
+/// Runs `property` against `config.cases` generated inputs.
+///
+/// Panics (failing the `#[test]`) on the first violated case, reporting
+/// the case number and the generated input; there is no shrinking.
+pub fn run_property<S, F>(test_name: &str, config: &ProptestConfig, strategy: &S, mut property: F)
+where
+    S: Strategy,
+    S::Value: Debug,
+    F: FnMut(S::Value) -> Result<(), TestCaseError>,
+{
+    let mut passed: u32 = 0;
+    let mut rejected: u64 = 0;
+    let max_rejects = u64::from(config.cases) * 16 + 1_000;
+    let mut case: u64 = 0;
+    while passed < config.cases {
+        let mut rng = TestRng::for_test(test_name, case);
+        case += 1;
+        let input = strategy.new_value(&mut rng);
+        let shown = format!("{input:?}");
+        match property(input) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject) => {
+                rejected += 1;
+                assert!(
+                    rejected <= max_rejects,
+                    "{test_name}: gave up after {rejected} prop_assume rejections \
+                     ({passed}/{} cases passed)",
+                    config.cases
+                );
+            }
+            Err(TestCaseError::Fail(message)) => {
+                panic!(
+                    "{test_name}: property failed at case {case}: {message}\n\
+                     input: {shown}\n\
+                     (deterministic; rerun reproduces this case)"
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let mut count = 0u32;
+        let cfg = ProptestConfig::with_cases(10);
+        run_property("passing", &cfg, &(0u32..100), |x| {
+            assert!(x < 100);
+            count += 1;
+            Ok(())
+        });
+        assert_eq!(count, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "property failed")]
+    fn failing_property_panics_with_input() {
+        let cfg = ProptestConfig::with_cases(50);
+        run_property("failing", &cfg, &(0u32..10), |x| {
+            if x >= 5 {
+                return Err(TestCaseError::fail("too big"));
+            }
+            Ok(())
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "prop_assume")]
+    fn pathological_assume_gives_up() {
+        let cfg = ProptestConfig::with_cases(5);
+        run_property("rejecting", &cfg, &(0u32..10), |_| {
+            Err(TestCaseError::Reject)
+        });
+    }
+}

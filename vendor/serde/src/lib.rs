@@ -1,0 +1,329 @@
+//! Offline vendored stand-in for the `serde` crate.
+//!
+//! The build container has no network access and an empty cargo registry,
+//! so the real serde cannot be fetched. This crate provides the subset the
+//! workspace actually uses: `#[derive(Serialize, Deserialize)]` on plain
+//! structs and enums, routed through a JSON-like [`Value`] tree that
+//! `serde_json` (also vendored) prints and parses.
+//!
+//! The trait shape is deliberately simpler than real serde (no `Serializer`
+//! visitor machinery): `Serialize` renders to a [`Value`], `Deserialize`
+//! reads from one. That is sufficient for every call site in the workspace,
+//! which only ever round-trips through `serde_json` strings.
+
+pub mod value;
+
+pub use serde_derive::{Deserialize, Serialize};
+pub use value::{DeError, Value};
+
+/// Types renderable to a [`Value`] tree.
+pub trait Serialize {
+    /// Renders `self` as a [`Value`].
+    fn serialize_value(&self) -> Value;
+}
+
+/// Types reconstructible from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from a [`Value`], reporting shape mismatches.
+    fn deserialize_value(v: &Value) -> Result<Self, DeError>;
+}
+
+macro_rules! ser_int {
+    ($($t:ty => $variant:ident as $cast:ty),* $(,)?) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Value {
+                Value::$variant(*self as $cast)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+                match *v {
+                    Value::I64(x) => <$t>::try_from(x)
+                        .map_err(|_| DeError::expected(stringify!($t), v)),
+                    Value::U64(x) => <$t>::try_from(x)
+                        .map_err(|_| DeError::expected(stringify!($t), v)),
+                    Value::F64(x) if x.fract() == 0.0 => Ok(x as $t),
+                    _ => Err(DeError::expected(stringify!($t), v)),
+                }
+            }
+        }
+    )*};
+}
+
+ser_int!(
+    u8 => U64 as u64, u16 => U64 as u64, u32 => U64 as u64,
+    u64 => U64 as u64, usize => U64 as u64,
+    i8 => I64 as i64, i16 => I64 as i64, i32 => I64 as i64,
+    i64 => I64 as i64, isize => I64 as i64,
+);
+
+impl Serialize for f64 {
+    fn serialize_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+impl Deserialize for f64 {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        match *v {
+            Value::F64(x) => Ok(x),
+            Value::I64(x) => Ok(x as f64),
+            Value::U64(x) => Ok(x as f64),
+            _ => Err(DeError::expected("f64", v)),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize_value(&self) -> Value {
+        Value::F64(f64::from(*self))
+    }
+}
+impl Deserialize for f32 {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        f64::deserialize_value(v).map(|x| x as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn serialize_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl Deserialize for bool {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        match *v {
+            Value::Bool(b) => Ok(b),
+            _ => Err(DeError::expected("bool", v)),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn serialize_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+impl Deserialize for String {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            _ => Err(DeError::expected("string", v)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn serialize_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl Serialize for char {
+    fn serialize_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+impl Deserialize for char {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) if s.chars().count() == 1 => {
+                s.chars().next().ok_or_else(|| DeError::expected("char", v))
+            }
+            _ => Err(DeError::expected("char", v)),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_value(&self) -> Value {
+        (**self).serialize_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_value(&self) -> Value {
+        match self {
+            Some(x) => x.serialize_value(),
+            None => Value::Null,
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::deserialize_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Array(xs) => xs.iter().map(T::deserialize_value).collect(),
+            _ => Err(DeError::expected("array", v)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+impl<T: Deserialize + Default + Copy, const N: usize> Deserialize for [T; N] {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Array(xs) if xs.len() == N => {
+                let mut out = [T::default(); N];
+                for (slot, x) in out.iter_mut().zip(xs) {
+                    *slot = T::deserialize_value(x)?;
+                }
+                Ok(out)
+            }
+            _ => Err(DeError::expected("fixed-size array", v)),
+        }
+    }
+}
+
+macro_rules! ser_tuple {
+    ($(($($n:tt $t:ident),+)),+ $(,)?) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn serialize_value(&self) -> Value {
+                Value::Array(vec![$(self.$n.serialize_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Array(xs) if xs.len() == ser_tuple!(@count $($t)+) => {
+                        Ok(($($t::deserialize_value(&xs[$n])?,)+))
+                    }
+                    _ => Err(DeError::expected("tuple array", v)),
+                }
+            }
+        }
+    )+};
+    (@count $($t:ident)+) => { [$(ser_tuple!(@one $t)),+].len() };
+    (@one $t:ident) => { () };
+}
+
+ser_tuple!(
+    (0 A),
+    (0 A, 1 B),
+    (0 A, 1 B, 2 C),
+    (0 A, 1 B, 2 C, 3 D),
+    (0 A, 1 B, 2 C, 3 D, 4 E),
+);
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::hash::Hash;
+
+// Maps and sets serialize as arrays of entries so non-string keys work.
+impl<K: Serialize, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn serialize_value(&self) -> Value {
+        Value::Array(
+            self.iter()
+                .map(|(k, v)| Value::Array(vec![k.serialize_value(), v.serialize_value()]))
+                .collect(),
+        )
+    }
+}
+impl<K: Deserialize + Eq + Hash, V: Deserialize> Deserialize for HashMap<K, V> {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        entries(v)?.into_iter().collect::<Result<_, _>>()
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize_value(&self) -> Value {
+        Value::Array(
+            self.iter()
+                .map(|(k, v)| Value::Array(vec![k.serialize_value(), v.serialize_value()]))
+                .collect(),
+        )
+    }
+}
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        entries(v)?.into_iter().collect::<Result<_, _>>()
+    }
+}
+
+type EntryIter<K, V> = Vec<Result<(K, V), DeError>>;
+
+fn entries<K: Deserialize, V: Deserialize>(v: &Value) -> Result<EntryIter<K, V>, DeError> {
+    match v {
+        Value::Array(xs) => Ok(xs
+            .iter()
+            .map(|e| match e {
+                Value::Array(kv) if kv.len() == 2 => {
+                    Ok((K::deserialize_value(&kv[0])?, V::deserialize_value(&kv[1])?))
+                }
+                _ => Err(DeError::expected("[key, value] pair", e)),
+            })
+            .collect()),
+        _ => Err(DeError::expected("array of pairs", v)),
+    }
+}
+
+impl<T: Serialize> Serialize for BTreeSet<T> {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+impl<T: Deserialize + Ord> Deserialize for BTreeSet<T> {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Array(xs) => xs.iter().map(T::deserialize_value).collect(),
+            _ => Err(DeError::expected("array", v)),
+        }
+    }
+}
+
+impl<T: Serialize, S> Serialize for HashSet<T, S> {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+impl<T: Deserialize + Eq + Hash> Deserialize for HashSet<T> {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Array(xs) => xs.iter().map(T::deserialize_value).collect(),
+            _ => Err(DeError::expected("array", v)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn serialize_value(&self) -> Value {
+        (**self).serialize_value()
+    }
+}
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        T::deserialize_value(v).map(Box::new)
+    }
+}
+
+impl Serialize for Value {
+    fn serialize_value(&self) -> Value {
+        self.clone()
+    }
+}
+impl Deserialize for Value {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}

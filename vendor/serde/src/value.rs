@@ -1,0 +1,95 @@
+//! The JSON-like data model shared by the vendored `serde` and
+//! `serde_json` crates.
+
+use std::fmt;
+
+/// A JSON-shaped value tree.
+///
+/// Integer values keep their signedness so `u64` counts and `i64`
+/// timestamps round-trip exactly instead of passing through `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Negative (or small signed) integer.
+    I64(i64),
+    /// Non-negative integer.
+    U64(u64),
+    /// Floating-point number.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Ordered array.
+    Array(Vec<Value>),
+    /// Object: insertion-ordered list of `(key, value)` pairs.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The object entries, if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    /// Looks up `key` in an object value.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object()
+            .and_then(|fields| fields.iter().find(|(k, _)| k == key).map(|(_, v)| v))
+    }
+
+    /// One-word description of the variant, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::I64(_) | Value::U64(_) => "integer",
+            Value::F64(_) => "number",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+/// Error produced when a [`Value`] does not match the expected shape.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError {
+    message: String,
+}
+
+impl DeError {
+    /// A free-form deserialization error.
+    pub fn new(message: impl Into<String>) -> Self {
+        DeError {
+            message: message.into(),
+        }
+    }
+
+    /// "Expected X, found Y" error for a mismatched value.
+    pub fn expected(what: &str, found: &Value) -> Self {
+        DeError::new(format!("expected {what}, found {}", found.kind()))
+    }
+
+    /// Error for a struct field absent from the input object.
+    pub fn missing_field(field: &str, ty: &str) -> Self {
+        DeError::new(format!("missing field `{field}` for {ty}"))
+    }
+
+    /// Error for an enum variant name not known to the type.
+    pub fn unknown_variant(variant: &str, ty: &str) -> Self {
+        DeError::new(format!("unknown variant `{variant}` for {ty}"))
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for DeError {}

@@ -1,0 +1,607 @@
+//! `#[derive(Serialize, Deserialize)]` for the vendored serde facade.
+//!
+//! The offline build container has no `syn`/`quote`, so this macro parses
+//! the item declaration directly from the `proc_macro` token stream and
+//! emits the generated impl as a string. It supports the shapes that occur
+//! in this workspace: structs with named fields, tuple structs, unit
+//! structs, and enums with unit / tuple / struct variants, plus generics
+//! with simple bounds and the `#[serde(skip)]` / `#[serde(default)]`
+//! field attributes.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------- model
+
+struct Item {
+    name: String,
+    generics: Vec<Param>,
+    kind: Kind,
+}
+
+enum Kind {
+    NamedStruct(Vec<Field>),
+    TupleStruct(Vec<Field>),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Param {
+    /// Parameter name alone (`T`, `'a`, `N`).
+    name: String,
+    /// Full declaration including bounds (`T: Ord`, `const N: usize`).
+    decl: String,
+    /// Whether this is a type parameter (gets the serde bound added).
+    is_type: bool,
+}
+
+struct Field {
+    name: String,
+    skip: bool,
+    default: bool,
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+// --------------------------------------------------------------- parser
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    skip_attrs_and_vis(&tokens, &mut i);
+    let kw = expect_ident(&tokens, &mut i);
+    let name = expect_ident(&tokens, &mut i);
+    let generics = parse_generics(&tokens, &mut i);
+
+    let kind = match kw.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::TupleStruct(parse_tuple_fields(g.stream()))
+            }
+            _ => Kind::UnitStruct,
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Enum(parse_variants(g.stream()))
+            }
+            _ => panic!("enum without a body"),
+        },
+        other => panic!("derive only supports struct/enum, found `{other}`"),
+    };
+
+    Item {
+        name,
+        generics,
+        kind,
+    }
+}
+
+/// Advances past `#[...]` attributes and `pub` / `pub(...)` visibility.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // '#' and the bracket group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        *i += 1;
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Like [`skip_attrs_and_vis`] but reports whether a skipped attribute was
+/// `#[serde(skip)]` / `#[serde(default)]`.
+fn skip_field_attrs(tokens: &[TokenTree], i: &mut usize) -> (bool, bool) {
+    let (mut skip, mut default) = (false, false);
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = tokens.get(*i + 1) {
+                    let attr = g.stream().to_string();
+                    if attr.starts_with("serde") {
+                        if attr.contains("skip") {
+                            skip = true;
+                        }
+                        if attr.contains("default") {
+                            default = true;
+                        }
+                    }
+                }
+                *i += 2;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        *i += 1;
+                    }
+                }
+            }
+            _ => return (skip, default),
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], i: &mut usize) -> String {
+    match tokens.get(*i) {
+        Some(TokenTree::Ident(id)) => {
+            *i += 1;
+            id.to_string()
+        }
+        other => panic!("expected identifier, found {other:?}"),
+    }
+}
+
+/// Parses `<...>` generic parameters if present.
+fn parse_generics(tokens: &[TokenTree], i: &mut usize) -> Vec<Param> {
+    match tokens.get(*i) {
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {}
+        _ => return Vec::new(),
+    }
+    *i += 1;
+    let mut depth = 1usize;
+    let mut params = Vec::new();
+    let mut current: Vec<TokenTree> = Vec::new();
+    while depth > 0 {
+        let tok = tokens
+            .get(*i)
+            .unwrap_or_else(|| panic!("unclosed generics"))
+            .clone();
+        *i += 1;
+        match &tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                depth += 1;
+                current.push(tok);
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                depth -= 1;
+                if depth > 0 {
+                    current.push(tok);
+                }
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 1 => {
+                params.push(make_param(&current));
+                current.clear();
+            }
+            _ => current.push(tok),
+        }
+    }
+    if !current.is_empty() {
+        params.push(make_param(&current));
+    }
+    params
+}
+
+fn make_param(tokens: &[TokenTree]) -> Param {
+    let decl = render(tokens);
+    let is_lifetime = matches!(tokens.first(), Some(TokenTree::Punct(p)) if p.as_char() == '\'');
+    let is_const =
+        matches!(tokens.first(), Some(TokenTree::Ident(id)) if id.to_string() == "const");
+    let name = if is_lifetime {
+        render(&tokens[..2])
+    } else if is_const {
+        match tokens.get(1) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("malformed const parameter: {other:?}"),
+        }
+    } else {
+        match tokens.first() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("malformed generic parameter: {other:?}"),
+        }
+    };
+    Param {
+        name,
+        decl,
+        is_type: !is_lifetime && !is_const,
+    }
+}
+
+fn parse_named_fields(body: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut i = 0;
+    let mut fields = Vec::new();
+    while i < tokens.len() {
+        let (skip, default) = skip_field_attrs(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = expect_ident(&tokens, &mut i);
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("expected `:` after field `{name}`, found {other:?}"),
+        }
+        skip_type(&tokens, &mut i);
+        fields.push(Field {
+            name,
+            skip,
+            default,
+        });
+    }
+    fields
+}
+
+fn parse_tuple_fields(body: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut i = 0;
+    let mut fields = Vec::new();
+    while i < tokens.len() {
+        let (skip, default) = skip_field_attrs(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        skip_type(&tokens, &mut i);
+        fields.push(Field {
+            name: fields.len().to_string(),
+            skip,
+            default,
+        });
+    }
+    fields
+}
+
+/// Advances past a type, stopping after the top-level `,` (or at the end).
+fn skip_type(tokens: &[TokenTree], i: &mut usize) {
+    let mut depth = 0usize;
+    while let Some(tok) = tokens.get(*i) {
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' && depth > 0 => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                *i += 1;
+                return;
+            }
+            _ => {}
+        }
+        *i += 1;
+    }
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut i = 0;
+    let mut variants = Vec::new();
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = expect_ident(&tokens, &mut i);
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantShape::Tuple(parse_tuple_fields(g.stream()).len())
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantShape::Named(
+                    parse_named_fields(g.stream())
+                        .into_iter()
+                        .map(|f| f.name)
+                        .collect(),
+                )
+            }
+            _ => VariantShape::Unit,
+        };
+        // Skip an explicit discriminant and the trailing comma.
+        let mut depth = 0usize;
+        while let Some(tok) = tokens.get(i) {
+            match tok {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' && depth > 0 => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+fn render(tokens: &[TokenTree]) -> String {
+    tokens
+        .iter()
+        .map(|t| t.to_string())
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+// -------------------------------------------------------------- codegen
+
+fn impl_header(item: &Item, trait_path: &str) -> String {
+    if item.generics.is_empty() {
+        return format!("impl {trait_path} for {} ", item.name);
+    }
+    let impl_params: Vec<String> = item
+        .generics
+        .iter()
+        .map(|p| {
+            if p.is_type {
+                if p.decl.contains(':') {
+                    format!("{} + {trait_path}", p.decl)
+                } else {
+                    format!("{}: {trait_path}", p.decl)
+                }
+            } else {
+                p.decl.clone()
+            }
+        })
+        .collect();
+    let ty_params: Vec<String> = item.generics.iter().map(|p| p.name.clone()).collect();
+    format!(
+        "impl<{}> {trait_path} for {}<{}> ",
+        impl_params.join(", "),
+        item.name,
+        ty_params.join(", ")
+    )
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let mut body = String::new();
+    match &item.kind {
+        Kind::NamedStruct(fields) => {
+            body.push_str(
+                "let mut fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                 ::std::vec::Vec::new();\n",
+            );
+            for f in fields {
+                if f.skip {
+                    continue;
+                }
+                body.push_str(&format!(
+                    "fields.push((\"{0}\".to_string(), \
+                     ::serde::Serialize::serialize_value(&self.{0})));\n",
+                    f.name
+                ));
+            }
+            body.push_str("::serde::Value::Object(fields)\n");
+        }
+        Kind::TupleStruct(fields) => {
+            let live: Vec<&Field> = fields.iter().filter(|f| !f.skip).collect();
+            if live.len() == 1 {
+                body.push_str(&format!(
+                    "::serde::Serialize::serialize_value(&self.{})\n",
+                    live[0].name
+                ));
+            } else {
+                let items: Vec<String> = live
+                    .iter()
+                    .map(|f| format!("::serde::Serialize::serialize_value(&self.{})", f.name))
+                    .collect();
+                body.push_str(&format!(
+                    "::serde::Value::Array(vec![{}])\n",
+                    items.join(", ")
+                ));
+            }
+        }
+        Kind::UnitStruct => body.push_str("::serde::Value::Null\n"),
+        Kind::Enum(variants) => {
+            body.push_str("match self {\n");
+            for v in variants {
+                let ty = &item.name;
+                let name = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => body.push_str(&format!(
+                        "{ty}::{name} => ::serde::Value::Str(\"{name}\".to_string()),\n"
+                    )),
+                    VariantShape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|k| format!("f{k}")).collect();
+                        let inner = if *n == 1 {
+                            "::serde::Serialize::serialize_value(f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::serialize_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                        };
+                        body.push_str(&format!(
+                            "{ty}::{name}({}) => ::serde::Value::Object(vec![(\"{name}\"\
+                             .to_string(), {inner})]),\n",
+                            binds.join(", ")
+                        ));
+                    }
+                    VariantShape::Named(field_names) => {
+                        let items: Vec<String> = field_names
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(\"{f}\".to_string(), \
+                                     ::serde::Serialize::serialize_value({f}))"
+                                )
+                            })
+                            .collect();
+                        body.push_str(&format!(
+                            "{ty}::{name} {{ {} }} => ::serde::Value::Object(vec![(\"{name}\"\
+                             .to_string(), ::serde::Value::Object(vec![{}]))]),\n",
+                            field_names.join(", "),
+                            items.join(", ")
+                        ));
+                    }
+                }
+            }
+            body.push_str("}\n");
+        }
+    }
+    format!(
+        "#[automatically_derived]\n{}{{\n fn serialize_value(&self) -> ::serde::Value {{\n{body}}}\n}}\n",
+        impl_header(item, "::serde::Serialize")
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let ty = &item.name;
+    let mut body = String::new();
+    match &item.kind {
+        Kind::NamedStruct(fields) => {
+            body.push_str(
+                "if v.as_object().is_none() { \
+                 return ::std::result::Result::Err(::serde::DeError::expected(\"object\", v)); }\n",
+            );
+            body.push_str(&format!("::std::result::Result::Ok({ty} {{\n"));
+            for f in fields {
+                if f.skip {
+                    body.push_str(&format!(
+                        "{}: ::std::default::Default::default(),\n",
+                        f.name
+                    ));
+                } else if f.default {
+                    body.push_str(&format!(
+                        "{0}: match v.get(\"{0}\") {{ \
+                         ::std::option::Option::Some(x) => \
+                         ::serde::Deserialize::deserialize_value(x)?, \
+                         ::std::option::Option::None => ::std::default::Default::default() }},\n",
+                        f.name
+                    ));
+                } else {
+                    body.push_str(&format!(
+                        "{0}: match v.get(\"{0}\") {{ \
+                         ::std::option::Option::Some(x) => \
+                         ::serde::Deserialize::deserialize_value(x)?, \
+                         ::std::option::Option::None => return ::std::result::Result::Err(\
+                         ::serde::DeError::missing_field(\"{0}\", \"{ty}\")) }},\n",
+                        f.name
+                    ));
+                }
+            }
+            body.push_str("})\n");
+        }
+        Kind::TupleStruct(fields) => {
+            let live: Vec<&Field> = fields.iter().filter(|f| !f.skip).collect();
+            if live.len() == 1 && fields.len() == 1 {
+                body.push_str(&format!(
+                    "::std::result::Result::Ok({ty}(::serde::Deserialize::deserialize_value(v)?))\n"
+                ));
+            } else {
+                body.push_str(&format!(
+                    "match v {{ ::serde::Value::Array(xs) if xs.len() == {n} => {{ \
+                     ::std::result::Result::Ok({ty}(",
+                    n = live.len()
+                ));
+                for (k, _) in live.iter().enumerate() {
+                    body.push_str(&format!(
+                        "::serde::Deserialize::deserialize_value(&xs[{k}])?, "
+                    ));
+                }
+                body.push_str(
+                    ")) }, _ => ::std::result::Result::Err(\
+                     ::serde::DeError::expected(\"array\", v)) }\n",
+                );
+            }
+        }
+        Kind::UnitStruct => {
+            body.push_str(&format!("::std::result::Result::Ok({ty})\n"));
+        }
+        Kind::Enum(variants) => {
+            // Unit variants arrive as strings; data variants as
+            // single-key objects (serde's externally-tagged convention).
+            body.push_str("match v {\n::serde::Value::Str(s) => match s.as_str() {\n");
+            for v in variants {
+                if matches!(v.shape, VariantShape::Unit) {
+                    body.push_str(&format!(
+                        "\"{0}\" => ::std::result::Result::Ok({ty}::{0}),\n",
+                        v.name
+                    ));
+                }
+            }
+            body.push_str(&format!(
+                "other => ::std::result::Result::Err(\
+                 ::serde::DeError::unknown_variant(other, \"{ty}\")),\n}},\n"
+            ));
+            body.push_str("_ => {\n");
+            for v in variants {
+                let name = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => {}
+                    VariantShape::Tuple(n) => {
+                        if *n == 1 {
+                            body.push_str(&format!(
+                                "if let ::std::option::Option::Some(x) = v.get(\"{name}\") {{ \
+                                 return ::std::result::Result::Ok({ty}::{name}(\
+                                 ::serde::Deserialize::deserialize_value(x)?)); }}\n"
+                            ));
+                        } else {
+                            body.push_str(&format!(
+                                "if let ::std::option::Option::Some(\
+                                 ::serde::Value::Array(xs)) = v.get(\"{name}\") {{ \
+                                 if xs.len() == {n} {{ \
+                                 return ::std::result::Result::Ok({ty}::{name}("
+                            ));
+                            for k in 0..*n {
+                                body.push_str(&format!(
+                                    "::serde::Deserialize::deserialize_value(&xs[{k}])?, "
+                                ));
+                            }
+                            body.push_str(")); } }\n");
+                        }
+                    }
+                    VariantShape::Named(field_names) => {
+                        body.push_str(&format!(
+                            "if let ::std::option::Option::Some(inner) = v.get(\"{name}\") {{ \
+                             return ::std::result::Result::Ok({ty}::{name} {{"
+                        ));
+                        for f in field_names {
+                            body.push_str(&format!(
+                                "{f}: match inner.get(\"{f}\") {{ \
+                                 ::std::option::Option::Some(x) => \
+                                 ::serde::Deserialize::deserialize_value(x)?, \
+                                 ::std::option::Option::None => \
+                                 return ::std::result::Result::Err(\
+                                 ::serde::DeError::missing_field(\"{f}\", \"{ty}\")) }},"
+                            ));
+                        }
+                        body.push_str("}); }\n");
+                    }
+                }
+            }
+            body.push_str(&format!(
+                "::std::result::Result::Err(::serde::DeError::expected(\
+                 \"variant of {ty}\", v))\n}},\n}}\n"
+            ));
+        }
+    }
+    format!(
+        "#[automatically_derived]\n{}{{\n fn deserialize_value(v: &::serde::Value) -> \
+         ::std::result::Result<Self, ::serde::DeError> {{\n{body}}}\n}}\n",
+        impl_header(item, "::serde::Deserialize")
+    )
+}
