@@ -7,7 +7,9 @@ use logdep::l1::{run_l1, L1Config};
 use logdep::l2::{run_l2, L2Config};
 use logdep::l3::{run_l3, L3Config};
 use logdep::AppServiceModel;
-use logdep_logstore::codec::{read_store, write_store};
+use logdep_faults::{inject as inject_faults, FaultConfig};
+use logdep_logstore::codec::write_store;
+use logdep_logstore::ingest::{read_store_resilient, IngestPolicy};
 use logdep_logstore::time::TimeRange;
 use logdep_logstore::{LogStore, Millis};
 use logdep_sessions::{reconstruct, SessionConfig};
@@ -32,23 +34,29 @@ commands:
   churn     --before A.tsv --after B.tsv --directory DIR.xml
   impact    --logs LOGS.tsv --directory DIR.xml --owners OWNERS.tsv
             [--app NAME | --symptoms \"A,B,C\"]
+  inject    --logs LOGS.tsv --out FAULTY.tsv [--intensity X --seed N
+            --ledger LEDGER.json]
+  ingest    --logs LOGS.tsv [--max-error-fraction X --dedup BOOL
+            --report REPORT.json]
   help";
 
 type CmdResult = Result<(), Box<dyn Error>>;
 
 /// Loads one TSV export, or several (comma-separated paths) merged —
 /// the consolidation step of §5, for logs collected from decentralized
-/// storage locations.
+/// storage locations. Uses the resilient ingest path: malformed lines
+/// are quarantined (up to the error budget), duplicates absorbed and
+/// out-of-order delivery repaired, with a warning summarizing any
+/// damage found.
 fn load_logs(paths: &str) -> Result<LogStore, Box<dyn Error>> {
+    let policy = IngestPolicy::default();
     let mut merged: Option<LogStore> = None;
     for path in paths.split(',').map(str::trim).filter(|p| !p.is_empty()) {
         let file = File::open(path).map_err(|e| format!("open {path:?}: {e}"))?;
-        let (store, errors) = read_store(BufReader::new(file))?;
-        if !errors.is_empty() {
-            eprintln!(
-                "warning: {} malformed lines skipped in {path}",
-                errors.len()
-            );
+        let (store, report) = read_store_resilient(BufReader::new(file), &policy)
+            .map_err(|e| format!("ingest {path}: {e}"))?;
+        if report.quarantined > 0 || report.deduped > 0 {
+            eprintln!("warning: {path}: {}", report.summary());
         }
         match merged.as_mut() {
             None => merged = Some(store),
@@ -322,6 +330,63 @@ pub fn impact(args: &Args, out: &mut dyn Write) -> CmdResult {
         for (app, n) in graph.criticality().into_iter().take(10) {
             writeln!(out, "  {:>6}  {}", n, store.registry.source_name(app))?;
         }
+    }
+    Ok(())
+}
+
+/// `logdep inject` — re-emit a TSV export as a faulted stream, for
+/// robustness experiments and ingest hardening tests.
+pub fn inject(args: &Args, out: &mut dyn Write) -> CmdResult {
+    let store = load_logs(args.required("logs")?)?;
+    let out_path = args.required("out")?;
+    let intensity: f64 = args.parsed_or("intensity", 0.5)?;
+    let seed: u64 = args.parsed_or("seed", 42)?;
+    let cfg = FaultConfig::at_intensity(seed, intensity);
+    let injection = inject_faults(&store, &cfg);
+    std::fs::write(out_path, &injection.tsv).map_err(|e| format!("write {out_path:?}: {e}"))?;
+    if let Some(ledger_path) = args.optional("ledger") {
+        std::fs::write(
+            ledger_path,
+            serde_json::to_string_pretty(&injection.ledger)?,
+        )
+        .map_err(|e| format!("write {ledger_path:?}: {e}"))?;
+    }
+    writeln!(
+        out,
+        "injected at intensity {intensity} (seed {seed}): {}",
+        injection.ledger.summary()
+    )?;
+    Ok(())
+}
+
+/// `logdep ingest` — resilient consolidation of one TSV export, with a
+/// machine-readable quarantine/repair report.
+pub fn ingest(args: &Args, out: &mut dyn Write) -> CmdResult {
+    let path = args.required("logs")?;
+    let policy = IngestPolicy {
+        max_error_fraction: args.parsed_or("max-error-fraction", 0.5)?,
+        dedup: args.parsed_or("dedup", true)?,
+        ..IngestPolicy::default()
+    };
+    let file = File::open(path).map_err(|e| format!("open {path:?}: {e}"))?;
+    let (store, report) = read_store_resilient(BufReader::new(file), &policy)
+        .map_err(|e| format!("ingest {path}: {e}"))?;
+    if let Some(report_path) = args.optional("report") {
+        std::fs::write(report_path, serde_json::to_string_pretty(&report)?)
+            .map_err(|e| format!("write {report_path:?}: {e}"))?;
+    }
+    writeln!(out, "ingest: {}", report.summary())?;
+    writeln!(
+        out,
+        "store: {} records from {} sources",
+        store.len(),
+        store.active_sources().len()
+    )?;
+    for (source, skew) in &report.per_source_skew_ms {
+        writeln!(out, "  clock skew {source}: {skew:+} ms")?;
+    }
+    for (lineno, error) in report.quarantine_samples.iter().take(5) {
+        writeln!(out, "  quarantined line {lineno}: {error}")?;
     }
     Ok(())
 }

@@ -43,6 +43,8 @@ pub fn run(argv: &[String], out: &mut dyn Write) -> i32 {
         "templates" => commands::templates(&args, out),
         "churn" => commands::churn(&args, out),
         "impact" => commands::impact(&args, out),
+        "inject" => commands::inject(&args, out),
+        "ingest" => commands::ingest(&args, out),
         "help" | "--help" | "-h" => {
             let _ = writeln!(out, "{}", commands::HELP);
             Ok(())

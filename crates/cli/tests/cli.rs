@@ -222,6 +222,60 @@ fn impact_command_answers_operator_questions() {
 }
 
 #[test]
+fn inject_then_ingest_round_trip() {
+    let dir = TempDir::new("inject");
+    let (logs, _) = simulated(&dir);
+    let faulty = dir.path("faulty.tsv");
+    let ledger = dir.path("ledger.json");
+
+    let (code, out) = run(&[
+        "inject",
+        "--logs",
+        &logs,
+        "--out",
+        &faulty,
+        "--intensity",
+        "0.6",
+        "--seed",
+        "9",
+        "--ledger",
+        &ledger,
+    ]);
+    assert_eq!(code, 0, "{out}");
+    assert!(out.contains("delivered"), "{out}");
+    let ledger_json = std::fs::read_to_string(&ledger).expect("ledger written");
+    assert!(ledger_json.contains("\"dropped\""), "{ledger_json}");
+
+    // The faulted stream ingests with a report showing damage.
+    let report = dir.path("report.json");
+    let (code, out) = run(&["ingest", "--logs", &faulty, "--report", &report]);
+    assert_eq!(code, 0, "{out}");
+    assert!(out.contains("quarantined"), "{out}");
+    assert!(out.contains("store:"), "{out}");
+    let report_json = std::fs::read_to_string(&report).expect("report written");
+    assert!(report_json.contains("\"quarantined\""), "{report_json}");
+
+    // Mining still runs over the faulted stream (resilient load path).
+    let (code, out) = run(&["sessions", "--logs", &faulty]);
+    assert_eq!(code, 0, "{out}");
+    assert!(out.contains("sessions"));
+}
+
+#[test]
+fn ingest_rejects_garbage_past_error_budget() {
+    let dir = TempDir::new("budget");
+    let garbage = dir.path("garbage.tsv");
+    std::fs::write(&garbage, "not a log\nstill not a log\nnope\n").expect("write");
+    let (code, out) = run(&["ingest", "--logs", &garbage]);
+    assert_eq!(code, 1, "{out}");
+    assert!(out.contains("error budget"), "{out}");
+    // A lenient budget lets it through as pure quarantine.
+    let (code, out) = run(&["ingest", "--logs", &garbage, "--max-error-fraction", "1.0"]);
+    assert_eq!(code, 0, "{out}");
+    assert!(out.contains("3 quarantined"), "{out}");
+}
+
+#[test]
 fn comma_separated_logs_are_consolidated() {
     let dir = TempDir::new("merge");
     let (logs_a, directory) = simulated(&dir);

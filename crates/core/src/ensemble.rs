@@ -34,27 +34,90 @@ impl Support {
     }
 }
 
+fn all_available() -> [bool; 3] {
+    [true; 3]
+}
+
 /// The combined model: per-pair support plus threshold views.
-#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Ensemble {
     support: BTreeMap<(SourceId, SourceId), Support>,
+    /// Which detectors contributed (`[l1, l2, l3]`). A degraded run —
+    /// one detector erroring out — still produces a usable ensemble;
+    /// threshold views can rescale against the detectors that ran.
+    #[serde(default = "all_available")]
+    available: [bool; 3],
+}
+
+impl Default for Ensemble {
+    fn default() -> Self {
+        Self {
+            support: BTreeMap::new(),
+            available: all_available(),
+        }
+    }
 }
 
 impl Ensemble {
     /// Combines the three technique outputs (L3 must already be mapped
     /// onto application pairs via the service-owner relation).
     pub fn combine(l1: &PairModel, l2: &PairModel, l3_pairs: &PairModel) -> Self {
+        Self::combine_partial(Some(l1), Some(l2), Some(l3_pairs))
+    }
+
+    /// Combines whatever detector outputs are present — the degraded
+    /// path. A `None` marks a detector that did not run (crashed, or
+    /// its prerequisite data was missing); its vote is neither counted
+    /// nor held against any pair.
+    pub fn combine_partial(
+        l1: Option<&PairModel>,
+        l2: Option<&PairModel>,
+        l3_pairs: Option<&PairModel>,
+    ) -> Self {
         let mut support: BTreeMap<(SourceId, SourceId), Support> = BTreeMap::new();
-        for p in l1.iter() {
-            support.entry(p).or_default().l1 = true;
+        if let Some(m) = l1 {
+            for p in m.iter() {
+                support.entry(p).or_default().l1 = true;
+            }
         }
-        for p in l2.iter() {
-            support.entry(p).or_default().l2 = true;
+        if let Some(m) = l2 {
+            for p in m.iter() {
+                support.entry(p).or_default().l2 = true;
+            }
         }
-        for p in l3_pairs.iter() {
-            support.entry(p).or_default().l3 = true;
+        if let Some(m) = l3_pairs {
+            for p in m.iter() {
+                support.entry(p).or_default().l3 = true;
+            }
         }
-        Self { support }
+        Self {
+            support,
+            available: [l1.is_some(), l2.is_some(), l3_pairs.is_some()],
+        }
+    }
+
+    /// Which detectors contributed, as `[l1, l2, l3]`.
+    pub fn available(&self) -> [bool; 3] {
+        self.available
+    }
+
+    /// Number of detectors that contributed (0–3).
+    pub fn n_available(&self) -> u8 {
+        self.available.iter().map(|&a| a as u8).sum()
+    }
+
+    /// Pairs supported by at least `min_votes_of_three` techniques,
+    /// with the threshold rescaled to the detectors that actually ran:
+    /// a 2-of-3 consensus becomes 2-of-2 when one detector is down
+    /// (`ceil(min · available / 3)`, floored at 1). With all three
+    /// available this is exactly [`Ensemble::at_least`].
+    pub fn at_least_rescaled(&self, min_votes_of_three: u8) -> PairModel {
+        let avail = self.n_available();
+        if avail == 0 {
+            return PairModel::new();
+        }
+        let scaled = (min_votes_of_three * avail).div_ceil(3).max(1);
+        self.at_least(scaled)
     }
 
     /// Support record for a pair (order-insensitive).
@@ -182,6 +245,56 @@ mod tests {
         assert_eq!(pairs.len(), 2);
         assert!(pairs.contains(s(0), s(5)));
         assert!(pairs.contains(s(1), s(5)));
+    }
+
+    #[test]
+    fn partial_combine_tracks_availability() {
+        let e = Ensemble::combine_partial(
+            Some(&model(&[(1, 2), (1, 3)])),
+            None,
+            Some(&model(&[(1, 2)])),
+        );
+        assert_eq!(e.available(), [true, false, true]);
+        assert_eq!(e.n_available(), 2);
+        assert_eq!(e.support(s(1), s(2)).votes(), 2);
+        // Full combine is the all-available special case.
+        let full = Ensemble::combine(&PairModel::new(), &PairModel::new(), &PairModel::new());
+        assert_eq!(full.n_available(), 3);
+    }
+
+    #[test]
+    fn rescaled_threshold_adapts_to_missing_detectors() {
+        // L2 down: (1,2) has 2/2 votes, (1,3) and (2,3) one each.
+        let e = Ensemble::combine_partial(
+            Some(&model(&[(1, 2), (1, 3)])),
+            None,
+            Some(&model(&[(1, 2), (2, 3)])),
+        );
+        // "2-of-3 consensus" rescales to 2-of-2.
+        assert_eq!(e.at_least_rescaled(2).len(), 1);
+        assert!(e.at_least_rescaled(2).contains(s(1), s(2)));
+        // "3-of-3 unanimity" also rescales to 2-of-2.
+        assert_eq!(e.at_least_rescaled(3).len(), 1);
+        // "any detector" stays any detector.
+        assert_eq!(e.at_least_rescaled(1).len(), 3);
+
+        // With all three available, rescaling is the identity.
+        let full = Ensemble::combine(
+            &model(&[(1, 2), (1, 3)]),
+            &model(&[(1, 2), (2, 3)]),
+            &model(&[(1, 2), (2, 3)]),
+        );
+        for v in 1..=3u8 {
+            assert_eq!(full.at_least_rescaled(v), full.at_least(v));
+        }
+
+        // Single survivor: every threshold floors to 1-of-1.
+        let solo = Ensemble::combine_partial(Some(&model(&[(1, 2)])), None, None);
+        assert_eq!(solo.at_least_rescaled(3).len(), 1);
+
+        // Nothing ran: empty model, no panic.
+        let none = Ensemble::combine_partial(None, None, None);
+        assert!(none.at_least_rescaled(2).is_empty());
     }
 
     #[test]

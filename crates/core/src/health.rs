@@ -1,0 +1,341 @@
+//! Graceful degradation: run the detectors in isolation, report health.
+//!
+//! On a hostile stream (see the `logdep-faults` injector) a single
+//! detector can fail — L2's session reconstruction starved of user
+//! context, L3 handed an empty directory, a config invalidated by
+//! upstream scaling. The paper's deployment ran continuously against a
+//! moving landscape; an operator tool that aborts the whole mining run
+//! because one of three independent evidence sources failed is useless
+//! there. [`run_pipeline`] therefore isolates each detector, converts
+//! its failure into a [`DetectorHealth`] entry, and hands whatever
+//! subset succeeded to [`Ensemble::combine_partial`], whose vote
+//! thresholds rescale to the surviving detectors.
+
+use crate::ensemble::{app_service_to_pairs, Ensemble};
+use crate::l1::{run_l1, L1Config};
+use crate::l2::{run_l2, L2Config};
+use crate::l3::{run_l3, L3Config};
+use crate::model::{AppServiceModel, PairModel};
+use logdep_logstore::time::TimeRange;
+use logdep_logstore::{LogStore, SourceId};
+use serde::{Deserialize, Serialize};
+
+/// The three mining techniques, as health-report subjects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DetectorKind {
+    /// Technique L1: activity correlation.
+    L1,
+    /// Technique L2: session co-occurrence.
+    L2,
+    /// Technique L3: directory citations.
+    L3,
+}
+
+impl std::fmt::Display for DetectorKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DetectorKind::L1 => write!(f, "L1"),
+            DetectorKind::L2 => write!(f, "L2"),
+            DetectorKind::L3 => write!(f, "L3"),
+        }
+    }
+}
+
+/// Outcome of one detector in a pipeline run.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DetectorHealth {
+    /// Which detector this entry describes.
+    pub detector: DetectorKind,
+    /// Whether it ran to completion.
+    pub ok: bool,
+    /// The error message when it did not (`None` when `ok`, and also
+    /// when the detector was disabled by configuration).
+    pub error: Option<String>,
+    /// Whether the detector was enabled at all.
+    pub enabled: bool,
+    /// Number of dependencies it detected (0 when it failed).
+    pub detected: usize,
+}
+
+impl DetectorHealth {
+    fn ran(detector: DetectorKind, detected: usize) -> Self {
+        Self {
+            detector,
+            ok: true,
+            error: None,
+            enabled: true,
+            detected,
+        }
+    }
+
+    fn failed(detector: DetectorKind, error: String) -> Self {
+        Self {
+            detector,
+            ok: false,
+            error: Some(error),
+            enabled: true,
+            detected: 0,
+        }
+    }
+
+    fn disabled(detector: DetectorKind) -> Self {
+        Self {
+            detector,
+            ok: false,
+            error: None,
+            enabled: false,
+            detected: 0,
+        }
+    }
+}
+
+/// Which detectors to run, with their configurations. `None` disables
+/// a detector (e.g. no service directory available → no L3).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PipelineConfig {
+    /// L1 configuration, or `None` to skip L1.
+    pub l1: Option<L1Config>,
+    /// L2 configuration, or `None` to skip L2.
+    pub l2: Option<L2Config>,
+    /// L3 configuration, or `None` to skip L3.
+    pub l3: Option<L3Config>,
+}
+
+impl PipelineConfig {
+    /// All three detectors with their default configurations.
+    pub fn all_defaults() -> Self {
+        Self {
+            l1: Some(L1Config::default()),
+            l2: Some(L2Config::default()),
+            l3: Some(L3Config::default()),
+        }
+    }
+}
+
+/// Everything a degraded-tolerant pipeline run produced.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PipelineOutcome {
+    /// L1's detected pairs (`None` when L1 failed or was disabled).
+    pub l1_pairs: Option<PairModel>,
+    /// L2's detected pairs.
+    pub l2_pairs: Option<PairModel>,
+    /// L3's detected app→service dependencies.
+    pub l3_deps: Option<AppServiceModel>,
+    /// L3's dependencies mapped onto app pairs via the owner relation
+    /// (`None` when L3 failed/was disabled *or* no owners were given).
+    pub l3_pairs: Option<PairModel>,
+    /// One entry per detector, in L1, L2, L3 order.
+    pub health: Vec<DetectorHealth>,
+    /// The partial-set ensemble over whatever succeeded.
+    pub ensemble: Ensemble,
+}
+
+impl PipelineOutcome {
+    /// Number of detectors that ran to completion.
+    pub fn detectors_ok(&self) -> usize {
+        self.health.iter().filter(|h| h.ok).count()
+    }
+
+    /// True when every *enabled* detector ran to completion.
+    pub fn fully_healthy(&self) -> bool {
+        self.health.iter().all(|h| h.ok || !h.enabled)
+    }
+}
+
+/// Runs L1/L2/L3 in isolation over `range`, never failing as a whole:
+/// a detector erroring yields a [`DetectorHealth`] entry with `ok:
+/// false` while the others proceed, and the returned
+/// [`Ensemble`] combines the partial detector set (vote thresholds
+/// rescale via [`Ensemble::at_least_rescaled`]).
+///
+/// `owners` maps service index → owning application (as in
+/// [`app_service_to_pairs`]); without it L3 still runs but cannot vote
+/// on app pairs.
+pub fn run_pipeline(
+    store: &LogStore,
+    range: TimeRange,
+    service_ids: &[String],
+    owners: Option<&[SourceId]>,
+    cfg: &PipelineConfig,
+) -> PipelineOutcome {
+    let mut out = PipelineOutcome::default();
+
+    match &cfg.l1 {
+        Some(l1_cfg) => {
+            let sources = store.active_sources();
+            match run_l1(store, range, &sources, l1_cfg) {
+                Ok(res) => {
+                    out.health
+                        .push(DetectorHealth::ran(DetectorKind::L1, res.detected.len()));
+                    out.l1_pairs = Some(res.detected);
+                }
+                Err(e) => out
+                    .health
+                    .push(DetectorHealth::failed(DetectorKind::L1, e.to_string())),
+            }
+        }
+        None => out.health.push(DetectorHealth::disabled(DetectorKind::L1)),
+    }
+
+    match &cfg.l2 {
+        Some(l2_cfg) => match run_l2(store, range, l2_cfg) {
+            Ok(res) => {
+                out.health
+                    .push(DetectorHealth::ran(DetectorKind::L2, res.detected.len()));
+                out.l2_pairs = Some(res.detected);
+            }
+            Err(e) => out
+                .health
+                .push(DetectorHealth::failed(DetectorKind::L2, e.to_string())),
+        },
+        None => out.health.push(DetectorHealth::disabled(DetectorKind::L2)),
+    }
+
+    match &cfg.l3 {
+        Some(l3_cfg) => match run_l3(store, range, service_ids, l3_cfg) {
+            Ok(res) => {
+                out.health
+                    .push(DetectorHealth::ran(DetectorKind::L3, res.detected.len()));
+                out.l3_pairs = owners.map(|o| app_service_to_pairs(&res.detected, o));
+                out.l3_deps = Some(res.detected);
+            }
+            Err(e) => out
+                .health
+                .push(DetectorHealth::failed(DetectorKind::L3, e.to_string())),
+        },
+        None => out.health.push(DetectorHealth::disabled(DetectorKind::L3)),
+    }
+
+    out.ensemble = Ensemble::combine_partial(
+        out.l1_pairs.as_ref(),
+        out.l2_pairs.as_ref(),
+        out.l3_pairs.as_ref(),
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use logdep_logstore::{LogRecord, Millis};
+
+    /// A store where AppA cites service SVCB (owned by AppB) and both
+    /// log densely enough for L1/L2 to have something to chew on.
+    fn fixture() -> (LogStore, Vec<String>, Vec<SourceId>) {
+        let mut store = LogStore::new();
+        let a = store.registry.source("AppA");
+        let b = store.registry.source("AppB");
+        let user = store.registry.user("alice");
+        for i in 0..200i64 {
+            let t = i * 1_000;
+            store.push(
+                LogRecord::minimal(a, Millis(t))
+                    .with_user(user)
+                    .with_text("Invoke SVCB [fct [query]]"),
+            );
+            store.push(
+                LogRecord::minimal(b, Millis(t + 120))
+                    .with_user(user)
+                    .with_text("handling request"),
+            );
+        }
+        store.finalize();
+        (store, vec!["SVCB".to_owned()], vec![b])
+    }
+
+    fn full_range() -> TimeRange {
+        TimeRange::new(Millis(0), Millis(300_000))
+    }
+
+    #[test]
+    fn healthy_run_reports_all_ok() {
+        let (store, ids, owners) = fixture();
+        let out = run_pipeline(
+            &store,
+            full_range(),
+            &ids,
+            Some(&owners),
+            &PipelineConfig::all_defaults(),
+        );
+        assert_eq!(out.health.len(), 3);
+        assert!(out.fully_healthy(), "health: {:?}", out.health);
+        assert_eq!(out.detectors_ok(), 3);
+        assert_eq!(out.ensemble.n_available(), 3);
+        // L3 must see the citation.
+        let l3 = out.l3_deps.as_ref().expect("l3 ran");
+        assert!(l3.len() >= 1);
+        let l3p = out.l3_pairs.as_ref().expect("owners given");
+        assert!(l3p.len() >= 1);
+    }
+
+    #[test]
+    fn one_failing_detector_degrades_not_aborts() {
+        let (store, ids, owners) = fixture();
+        let mut cfg = PipelineConfig::all_defaults();
+        // Invalid L1 config: negative slot width fails validation.
+        if let Some(l1) = cfg.l1.as_mut() {
+            l1.slot_ms = -5;
+        }
+        let out = run_pipeline(&store, full_range(), &ids, Some(&owners), &cfg);
+        assert!(!out.fully_healthy());
+        assert_eq!(out.detectors_ok(), 2);
+        let l1_health = &out.health[0];
+        assert_eq!(l1_health.detector, DetectorKind::L1);
+        assert!(!l1_health.ok && l1_health.enabled);
+        assert!(l1_health.error.as_deref().is_some_and(|e| !e.is_empty()));
+        // The others still delivered and the ensemble adapts.
+        assert!(out.l1_pairs.is_none());
+        assert!(out.l2_pairs.is_some());
+        assert!(out.l3_deps.is_some());
+        assert_eq!(out.ensemble.n_available(), 2);
+        assert_eq!(out.ensemble.available(), [false, true, true]);
+    }
+
+    #[test]
+    fn disabled_detector_is_not_a_failure() {
+        let (store, ids, _) = fixture();
+        let cfg = PipelineConfig {
+            l3: None,
+            ..PipelineConfig::all_defaults()
+        };
+        let out = run_pipeline(&store, full_range(), &ids, None, &cfg);
+        assert!(out.fully_healthy(), "disabled L3 is not a failure");
+        assert_eq!(out.detectors_ok(), 2);
+        let l3_health = &out.health[2];
+        assert!(!l3_health.enabled && l3_health.error.is_none());
+        assert!(out.l3_deps.is_none() && out.l3_pairs.is_none());
+    }
+
+    #[test]
+    fn l3_without_owners_runs_but_does_not_vote() {
+        let (store, ids, _) = fixture();
+        let out = run_pipeline(
+            &store,
+            full_range(),
+            &ids,
+            None,
+            &PipelineConfig::all_defaults(),
+        );
+        assert!(out.l3_deps.is_some(), "L3 ran");
+        assert!(out.l3_pairs.is_none(), "no owner relation, no vote");
+        assert_eq!(out.ensemble.available()[2], false);
+    }
+
+    #[test]
+    fn empty_store_never_panics() {
+        let mut store = LogStore::new();
+        store.finalize();
+        let out = run_pipeline(
+            &store,
+            TimeRange::new(Millis(0), Millis(1_000)),
+            &[],
+            None,
+            &PipelineConfig::all_defaults(),
+        );
+        assert_eq!(out.health.len(), 3);
+        // Whatever failed did so gracefully.
+        for h in &out.health {
+            assert!(h.ok || h.error.is_some() || !h.enabled, "{h:?}");
+        }
+    }
+}

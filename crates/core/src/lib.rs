@@ -64,6 +64,7 @@ pub mod error;
 pub mod eval;
 pub mod evolution;
 pub mod graph;
+pub mod health;
 pub mod l1;
 pub mod l2;
 pub mod l3;
@@ -71,6 +72,7 @@ pub mod model;
 
 pub use error::{MineError, Result};
 pub use graph::DependencyGraph;
+pub use health::{run_pipeline, DetectorHealth, DetectorKind, PipelineConfig, PipelineOutcome};
 pub use model::{diff_app_service, diff_pairs, AppServiceModel, Diff, PairModel};
 
 // Re-export the substrate crates under predictable names so downstream

@@ -1,0 +1,125 @@
+//! Fault-injection configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// All fault knobs, each independently tunable. [`FaultConfig::off`] is
+/// the identity transform; [`FaultConfig::at_intensity`] scales every
+/// knob linearly between `off` and a calibrated worst-case profile so a
+/// sweep needs only one parameter.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultConfig {
+    /// Master seed. Same seed + same config ⇒ identical output stream
+    /// and ledger.
+    pub seed: u64,
+    /// Maximum per-source clock-skew magnitude, ms. Each source draws a
+    /// fixed offset uniformly from `[-skew_ms, skew_ms]` applied to all
+    /// of its client timestamps (NT-domain drift, §4.2 of the paper).
+    pub skew_ms: i64,
+    /// Maximum per-record timestamp jitter, ms (uniform, symmetric).
+    pub jitter_ms: i64,
+    /// Probability that a record is displaced in delivery order.
+    pub reorder_prob: f64,
+    /// Maximum displacement distance, in records, for a reordered record.
+    pub reorder_window: usize,
+    /// Probability that a record is delivered twice (at-least-once
+    /// shippers retransmitting on unacknowledged batches).
+    pub duplicate_prob: f64,
+    /// Probability that a record is silently lost.
+    pub drop_prob: f64,
+    /// Expected number of blackout windows per source over the whole
+    /// stream (log-rotation gaps: the file is mid-rotation and nothing
+    /// of that source reaches the collector).
+    pub blackouts_per_source: f64,
+    /// Length of one blackout window, ms.
+    pub blackout_ms: i64,
+    /// Probability that a serialized TSV line is corrupted (truncated,
+    /// overwritten with garbage bytes, or given a mangled timestamp).
+    pub corrupt_prob: f64,
+}
+
+/// Worst-case profile at intensity 1.0: two minutes of skew, heavy
+/// reordering, and roughly a quarter of the stream damaged or lost.
+const MAX_SKEW_MS: f64 = 120_000.0;
+const MAX_JITTER_MS: f64 = 2_000.0;
+const MAX_REORDER_PROB: f64 = 0.25;
+const MAX_DUPLICATE_PROB: f64 = 0.12;
+const MAX_DROP_PROB: f64 = 0.12;
+const MAX_BLACKOUTS_PER_SOURCE: f64 = 2.0;
+const MAX_CORRUPT_PROB: f64 = 0.10;
+
+impl FaultConfig {
+    /// The identity transform: no fault class is active.
+    pub fn off(seed: u64) -> Self {
+        Self::at_intensity(seed, 0.0)
+    }
+
+    /// Scales every knob linearly with `intensity` in `[0, 1]` (values
+    /// outside are clamped). Intensity 0 is the identity; intensity 1
+    /// is the calibrated worst-case profile.
+    pub fn at_intensity(seed: u64, intensity: f64) -> Self {
+        let x = intensity.clamp(0.0, 1.0);
+        Self {
+            seed,
+            skew_ms: (x * MAX_SKEW_MS) as i64,
+            jitter_ms: (x * MAX_JITTER_MS) as i64,
+            reorder_prob: x * MAX_REORDER_PROB,
+            reorder_window: 64,
+            duplicate_prob: x * MAX_DUPLICATE_PROB,
+            drop_prob: x * MAX_DROP_PROB,
+            blackouts_per_source: x * MAX_BLACKOUTS_PER_SOURCE,
+            blackout_ms: 10 * 60 * 1_000,
+            corrupt_prob: x * MAX_CORRUPT_PROB,
+        }
+    }
+
+    /// True when every fault class is inactive (the identity transform).
+    pub fn is_identity(&self) -> bool {
+        self.skew_ms == 0
+            && self.jitter_ms == 0
+            && self.reorder_prob <= 0.0
+            && self.duplicate_prob <= 0.0
+            && self.drop_prob <= 0.0
+            && self.blackouts_per_source <= 0.0
+            && self.corrupt_prob <= 0.0
+    }
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        Self::at_intensity(0, 0.5)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intensity_zero_is_identity() {
+        let c = FaultConfig::at_intensity(3, 0.0);
+        assert!(c.is_identity());
+        assert_eq!(c, FaultConfig::off(3));
+    }
+
+    #[test]
+    fn intensity_scales_monotonically() {
+        let lo = FaultConfig::at_intensity(0, 0.2);
+        let hi = FaultConfig::at_intensity(0, 0.9);
+        assert!(lo.skew_ms < hi.skew_ms);
+        assert!(lo.drop_prob < hi.drop_prob);
+        assert!(lo.corrupt_prob < hi.corrupt_prob);
+        assert!(!hi.is_identity());
+    }
+
+    #[test]
+    fn intensity_is_clamped() {
+        assert_eq!(
+            FaultConfig::at_intensity(1, -3.0),
+            FaultConfig::at_intensity(1, 0.0)
+        );
+        assert_eq!(
+            FaultConfig::at_intensity(1, 7.0),
+            FaultConfig::at_intensity(1, 1.0)
+        );
+    }
+}

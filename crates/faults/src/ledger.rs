@@ -1,0 +1,142 @@
+//! The machine-readable record of what a fault run injected.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One per-source blackout window (a log-rotation gap).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BlackoutWindow {
+    /// Source (application) name the window applies to.
+    pub source: String,
+    /// Window start, ms since the scenario epoch (inclusive).
+    pub start_ms: i64,
+    /// Window end, ms (exclusive).
+    pub end_ms: i64,
+    /// Records of the source that fell inside and were lost.
+    pub dropped: usize,
+}
+
+/// Per-kind line-corruption counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct CorruptionCounts {
+    /// Lines cut short mid-record.
+    pub truncated: usize,
+    /// Lines with a span overwritten by garbage bytes.
+    pub garbage: usize,
+    /// Lines whose timestamp field was mangled into a non-integer.
+    pub mangled_timestamp: usize,
+}
+
+impl CorruptionCounts {
+    /// Total corrupted lines.
+    pub fn total(&self) -> usize {
+        self.truncated + self.garbage + self.mangled_timestamp
+    }
+}
+
+/// Everything one injection run did, in machine-readable form. Written
+/// alongside the faulty stream so experiments can correlate observed
+/// pipeline degradation with injected damage — and so tests can assert
+/// byte-exact determinism.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct FaultLedger {
+    /// Records in the input store.
+    pub input_records: usize,
+    /// Records delivered (after drops and duplication, before line
+    /// corruption — corrupted lines are still delivered, just damaged).
+    pub output_records: usize,
+    /// Non-empty TSV lines in the output stream.
+    pub output_lines: usize,
+    /// Fixed clock-skew offset applied per source, ms (only sources
+    /// with a non-zero offset appear).
+    pub skew_applied_ms: BTreeMap<String, i64>,
+    /// Records whose timestamp received non-zero jitter.
+    pub jittered: usize,
+    /// Records displaced from their arrival position.
+    pub reordered: usize,
+    /// Records delivered twice.
+    pub duplicated: usize,
+    /// Records lost to random drops (excludes blackout losses).
+    pub dropped: usize,
+    /// Records lost inside blackout windows.
+    pub blackout_dropped: usize,
+    /// The blackout windows drawn, with per-window loss counts.
+    pub blackouts: Vec<BlackoutWindow>,
+    /// Line-corruption counts by kind.
+    pub corruption: CorruptionCounts,
+}
+
+impl FaultLedger {
+    /// Total records lost (random drops + blackouts).
+    pub fn total_lost(&self) -> usize {
+        self.dropped + self.blackout_dropped
+    }
+
+    /// Fraction of input records that were lost.
+    pub fn loss_fraction(&self) -> f64 {
+        if self.input_records == 0 {
+            0.0
+        } else {
+            self.total_lost() as f64 / self.input_records as f64
+        }
+    }
+
+    /// One-line human summary for CLI output.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} in -> {} delivered ({} dropped, {} blackout-lost, {} duplicated, \
+             {} reordered, {} corrupted, {} skewed sources)",
+            self.input_records,
+            self.output_records,
+            self.dropped,
+            self.blackout_dropped,
+            self.duplicated,
+            self.reordered,
+            self.corruption.total(),
+            self.skew_applied_ms.len(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_fractions() {
+        let mut l = FaultLedger {
+            input_records: 100,
+            dropped: 5,
+            blackout_dropped: 15,
+            ..FaultLedger::default()
+        };
+        assert_eq!(l.total_lost(), 20);
+        assert!((l.loss_fraction() - 0.2).abs() < 1e-12);
+        l.input_records = 0;
+        assert_eq!(l.loss_fraction(), 0.0);
+    }
+
+    #[test]
+    fn corruption_total() {
+        let c = CorruptionCounts {
+            truncated: 1,
+            garbage: 2,
+            mangled_timestamp: 3,
+        };
+        assert_eq!(c.total(), 6);
+    }
+
+    #[test]
+    fn summary_mentions_key_counts() {
+        let l = FaultLedger {
+            input_records: 10,
+            output_records: 9,
+            dropped: 1,
+            ..FaultLedger::default()
+        };
+        let s = l.summary();
+        assert!(s.contains("10 in"));
+        assert!(s.contains("9 delivered"));
+        assert!(s.contains("1 dropped"));
+    }
+}

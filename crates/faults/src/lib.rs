@@ -1,0 +1,48 @@
+//! Deterministic fault injection for log streams.
+//!
+//! The paper mines *messy* production logs; the simulator emits pristine
+//! ones. This crate closes the gap: it takes a finalized
+//! [`LogStore`](logdep_logstore::LogStore) and re-emits it as the hostile
+//! TSV stream a real consolidation job would receive — with per-source
+//! clock skew and per-record jitter, out-of-order delivery, record
+//! duplication, lossy drops, per-source blackout windows (log-rotation
+//! gaps) and line-level corruption (truncation, garbage bytes, mangled
+//! timestamps). Every fault class has an intensity knob in
+//! [`FaultConfig`], everything derives deterministically from one seed,
+//! and a machine-readable [`FaultLedger`] records exactly what was
+//! injected, so robustness experiments can correlate observed pipeline
+//! degradation with injected damage.
+//!
+//! ```
+//! use logdep_faults::{inject, FaultConfig};
+//! use logdep_logstore::{LogRecord, LogStore, Millis};
+//!
+//! let mut store = LogStore::new();
+//! let app = store.registry.source("AppA");
+//! for t in 0..50 {
+//!     store.push(LogRecord::minimal(app, Millis(t * 1_000)).with_text("tick"));
+//! }
+//! store.finalize();
+//!
+//! // Intensity 0 is the identity transform...
+//! let clean = inject(&store, &FaultConfig::at_intensity(7, 0.0));
+//! assert_eq!(clean.ledger.dropped, 0);
+//! assert_eq!(clean.ledger.output_lines, 50);
+//!
+//! // ...and the same seed + config always produces the same stream.
+//! let a = inject(&store, &FaultConfig::at_intensity(7, 0.8));
+//! let b = inject(&store, &FaultConfig::at_intensity(7, 0.8));
+//! assert_eq!(a.tsv, b.tsv);
+//! assert_eq!(a.ledger, b.ledger);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod inject;
+pub mod ledger;
+
+pub use config::FaultConfig;
+pub use inject::{inject, inject_records, Injection};
+pub use ledger::{BlackoutWindow, CorruptionCounts, FaultLedger};

@@ -147,14 +147,81 @@ pub fn parse_record(line: &str, registry: &mut NameRegistry) -> Result<LogRecord
     })
 }
 
+/// Parse failures from one ingest pass, with bounded memory: the first
+/// [`ParseErrors::SAMPLE_CAP`] failures are retained verbatim, the rest
+/// only counted. A fully-garbage multi-gigabyte input therefore costs a
+/// fixed amount of memory for diagnostics, not one allocation per line.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ParseErrors {
+    samples: Vec<(usize, ParseError)>,
+    total: usize,
+    cap: usize,
+}
+
+impl ParseErrors {
+    /// Default number of retained samples.
+    pub const SAMPLE_CAP: usize = 32;
+
+    /// Creates an empty collector with the default cap.
+    pub fn new() -> Self {
+        Self::with_cap(Self::SAMPLE_CAP)
+    }
+
+    /// Creates an empty collector retaining at most `cap` samples.
+    pub fn with_cap(cap: usize) -> Self {
+        Self {
+            samples: Vec::new(),
+            total: 0,
+            cap,
+        }
+    }
+
+    /// Records one failure (keeps it only while under the cap).
+    pub fn record(&mut self, lineno: usize, error: ParseError) {
+        if self.samples.len() < self.cap {
+            self.samples.push((lineno, error));
+        }
+        self.total += 1;
+    }
+
+    /// Total number of failures seen (not just the retained ones).
+    pub fn len(&self) -> usize {
+        self.total
+    }
+
+    /// True when no line failed to parse.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// The retained `(1-based line number, error)` samples.
+    pub fn samples(&self) -> &[(usize, ParseError)] {
+        &self.samples
+    }
+
+    /// True when failures beyond the retained samples were discarded.
+    pub fn truncated(&self) -> bool {
+        self.total > self.samples.len()
+    }
+}
+
+impl<'a> IntoIterator for &'a ParseErrors {
+    type Item = &'a (usize, ParseError);
+    type IntoIter = std::slice::Iter<'a, (usize, ParseError)>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.samples.iter()
+    }
+}
+
 /// Reads a whole TSV stream into a fresh (finalized) store.
 ///
-/// Lines that fail to parse are returned with their 1-based line number;
-/// parsing continues past them, mirroring how a real consolidation job
-/// must tolerate occasional corrupt lines.
-pub fn read_store<R: BufRead>(r: R) -> io::Result<(LogStore, Vec<(usize, ParseError)>)> {
+/// Lines that fail to parse are counted (and the first few retained with
+/// their 1-based line number); parsing continues past them, mirroring how
+/// a real consolidation job must tolerate occasional corrupt lines. For
+/// quarantine budgets, repair and dedup, see [`crate::ingest`].
+pub fn read_store<R: BufRead>(r: R) -> io::Result<(LogStore, ParseErrors)> {
     let mut store = LogStore::new();
-    let mut errors = Vec::new();
+    let mut errors = ParseErrors::new();
     for (i, line) in r.lines().enumerate() {
         let line = line?;
         if line.is_empty() {
@@ -162,7 +229,7 @@ pub fn read_store<R: BufRead>(r: R) -> io::Result<(LogStore, Vec<(usize, ParseEr
         }
         match parse_record(&line, &mut store.registry) {
             Ok(rec) => store.push(rec),
-            Err(e) => errors.push((i + 1, e)),
+            Err(e) => errors.record(i + 1, e),
         }
     }
     store.finalize();
@@ -250,7 +317,29 @@ mod tests {
         let (store, errors) = read_store(data.as_bytes()).unwrap();
         assert_eq!(store.len(), 2);
         assert_eq!(errors.len(), 1);
-        assert_eq!(errors[0].0, 2, "1-based line number");
+        assert!(!errors.truncated());
+        assert_eq!(errors.samples()[0].0, 2, "1-based line number");
+    }
+
+    #[test]
+    fn parse_error_samples_are_capped() {
+        let mut garbage = String::new();
+        for i in 0..(ParseErrors::SAMPLE_CAP + 10) {
+            garbage.push_str(&format!("broken line {i}\n"));
+        }
+        let (store, errors) = read_store(garbage.as_bytes()).unwrap();
+        assert!(store.is_empty());
+        assert_eq!(errors.len(), ParseErrors::SAMPLE_CAP + 10);
+        assert_eq!(errors.samples().len(), ParseErrors::SAMPLE_CAP);
+        assert!(errors.truncated());
+        // The retained samples are the *first* failures.
+        assert_eq!(errors.samples()[0].0, 1);
+        let mut seen = 0;
+        for (lineno, _) in &errors {
+            assert!(*lineno <= ParseErrors::SAMPLE_CAP);
+            seen += 1;
+        }
+        assert_eq!(seen, ParseErrors::SAMPLE_CAP);
     }
 
     #[test]

@@ -20,12 +20,14 @@
 #![warn(missing_docs)]
 
 pub mod codec;
+pub mod ingest;
 pub mod record;
 pub mod registry;
 pub mod store;
 pub mod time;
 pub mod timeline;
 
+pub use ingest::{read_store_resilient, IngestError, IngestPolicy, IngestReport};
 pub use record::{LogRecord, Severity};
 pub use registry::{HostId, NameRegistry, SourceId, UserId};
 pub use store::LogStore;

@@ -21,6 +21,9 @@ pub struct LogStore {
     /// Name registry shared with producers.
     pub registry: NameRegistry,
     finalized: bool,
+    /// Set by [`LogStore::merge`]: the next finalize also deduplicates,
+    /// making double-ingestion of the same file idempotent.
+    pending_dedup: bool,
 }
 
 impl LogStore {
@@ -50,13 +53,20 @@ impl LogStore {
     }
 
     /// Sorts by client timestamp and (re)builds the per-source indexes.
-    /// Idempotent; must be called before any query.
+    /// Idempotent; must be called before any query. If records arrived
+    /// via [`LogStore::merge`], exact duplicates (same client timestamp,
+    /// source and message) are removed so that re-consolidating the same
+    /// file twice yields the same store as ingesting it once.
     pub fn finalize(&mut self) {
         if self.finalized {
             return;
         }
         self.records
             .sort_by_key(|r| (r.client_ts, r.source, r.server_ts));
+        if self.pending_dedup {
+            self.dedup_sorted();
+            self.pending_dedup = false;
+        }
         let n_sources = self.registry.source_count().max(
             self.records
                 .iter()
@@ -70,6 +80,45 @@ impl LogStore {
         }
         self.per_source = buckets.into_iter().map(Timeline::from_sorted).collect();
         self.finalized = true;
+    }
+
+    /// Finalizes with deduplication forced on (regardless of whether
+    /// records arrived via [`LogStore::merge`]) and returns the number
+    /// of duplicate records removed. Resilient ingest uses this to
+    /// absorb at-least-once delivery from retransmitting shippers.
+    pub fn finalize_dedup(&mut self) -> usize {
+        let before = self.records.len();
+        self.finalized = false;
+        self.pending_dedup = true;
+        self.finalize();
+        before - self.records.len()
+    }
+
+    /// Removes exact duplicates — same `(client_ts, source, text)` —
+    /// keeping the first occurrence (stable). Requires `records` to be
+    /// sorted by `(client_ts, source, server_ts)`: records sharing a
+    /// `(client_ts, source)` key form a contiguous run, and runs are
+    /// small, so the scan within a run stays cheap.
+    fn dedup_sorted(&mut self) {
+        let mut out: Vec<LogRecord> = Vec::with_capacity(self.records.len());
+        let mut run_start = 0usize;
+        for rec in self.records.drain(..) {
+            let same_run = out
+                .last()
+                .is_some_and(|l| (l.client_ts, l.source) == (rec.client_ts, rec.source));
+            if !same_run {
+                run_start = out.len();
+                out.push(rec);
+            } else if out
+                .get(run_start..)
+                .is_some_and(|run| run.iter().any(|r| r.text == rec.text))
+            {
+                // Exact duplicate within the run: drop it.
+            } else {
+                out.push(rec);
+            }
+        }
+        self.records = out;
     }
 
     /// Total number of records.
@@ -135,9 +184,12 @@ impl LogStore {
     /// Merges another store into this one, translating the other
     /// store's interned ids into this registry — the *consolidation*
     /// step of §5 ("collection of logging data from decentralized
-    /// storage locations"). Invalidates finalization.
+    /// storage locations"). Invalidates finalization; the next
+    /// [`LogStore::finalize`] removes exact duplicates so merging the
+    /// same stream twice is idempotent.
     pub fn merge(&mut self, other: &LogStore) {
         self.finalized = false;
+        self.pending_dedup = true;
         // Dense translation tables, filled lazily.
         let mut src_map: Vec<Option<SourceId>> = vec![None; other.registry.sources.len()];
         let mut user_map: Vec<Option<crate::registry::UserId>> =
@@ -274,6 +326,70 @@ mod tests {
         assert_eq!(first.client_ts, Millis(5));
         let uname = a.registry.users.name(first.user.expect("user").0);
         assert_eq!(uname, Some("alice"));
+    }
+
+    #[test]
+    fn double_merge_of_same_store_is_idempotent() {
+        let mut src = LogStore::new();
+        let app = src.registry.source("App");
+        for t in [10, 20, 20, 30] {
+            src.push(LogRecord::minimal(app, Millis(t)).with_text(format!("msg@{t}")));
+        }
+        // Two records genuinely share t=20 but differ in text: keep both.
+        src.push(LogRecord::minimal(app, Millis(20)).with_text("other@20"));
+        src.finalize();
+
+        let mut once = LogStore::new();
+        once.merge(&src);
+        once.finalize();
+
+        let mut twice = LogStore::new();
+        twice.merge(&src);
+        twice.merge(&src); // same file consolidated twice
+        twice.finalize();
+
+        assert_eq!(once.len(), twice.len(), "double ingest must not inflate");
+        for (a, b) in once.records().iter().zip(twice.records()) {
+            assert_eq!(
+                (a.client_ts, a.source, &a.text),
+                (b.client_ts, b.source, &b.text)
+            );
+        }
+        // Distinct same-timestamp texts survive; msg@20 repeated in the
+        // source collapses to one copy per distinct text.
+        let texts: Vec<&str> = once
+            .records()
+            .iter()
+            .filter(|r| r.client_ts == Millis(20))
+            .map(|r| r.text.as_str())
+            .collect();
+        assert_eq!(texts, vec!["msg@20", "other@20"]);
+    }
+
+    #[test]
+    fn plain_push_finalize_keeps_duplicates() {
+        // Without merge, identical records are preserved: dedup is a
+        // consolidation-time policy, not a storage invariant.
+        let mut s = LogStore::new();
+        let app = s.registry.source("App");
+        s.push(LogRecord::minimal(app, Millis(5)).with_text("same"));
+        s.push(LogRecord::minimal(app, Millis(5)).with_text("same"));
+        s.finalize();
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn finalize_dedup_reports_removed_count() {
+        let mut s = LogStore::new();
+        let app = s.registry.source("App");
+        for _ in 0..3 {
+            s.push(LogRecord::minimal(app, Millis(7)).with_text("dup"));
+        }
+        s.push(LogRecord::minimal(app, Millis(8)).with_text("unique"));
+        assert_eq!(s.finalize_dedup(), 2);
+        assert_eq!(s.len(), 2);
+        // Idempotent: a second pass removes nothing.
+        assert_eq!(s.finalize_dedup(), 0);
     }
 
     #[test]

@@ -1,0 +1,31 @@
+//! Seeded violations for the `silent-drop` rule: `let _ =` on a call
+//! result in library code. Exactly two lines must be flagged.
+
+use std::io::Write;
+
+pub fn cleanup(path: &str) {
+    let _ = std::fs::remove_file(path); // seeded: discards io::Result
+}
+
+pub fn log_line(mut w: impl Write) {
+    let _ = writeln!(w, "ignored"); // seeded: discards io::Result
+}
+
+pub fn not_flagged(flag: bool) {
+    let _unused = compute(flag); // named binding is a deliberate keep
+    let _ = flag; // plain value, nothing fallible dropped
+    // lint:allow(silent-drop) — best-effort cleanup, failure is benign
+    let _ = std::fs::remove_file("tmp");
+}
+
+fn compute(flag: bool) -> bool {
+    !flag
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_is_exempt() {
+        let _ = std::fs::read_to_string("x");
+    }
+}

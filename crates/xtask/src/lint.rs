@@ -52,6 +52,7 @@ const LIB_CRATES: &[&str] = &[
     "textmatch",
     "sessions",
     "simulator",
+    "faults",
 ];
 
 /// The full lint registry. Adding a rule means adding an entry here and
@@ -86,6 +87,12 @@ pub const RULES: &[RuleInfo] = &[
         name: "unchecked-indexing",
         severity: Severity::Warn,
         summary: "slice/array indexing with a runtime index expression in library code",
+        scope: LIB_CRATES,
+    },
+    RuleInfo {
+        name: "silent-drop",
+        severity: Severity::Deny,
+        summary: "`let _ =` discarding a call's Result in library code; handle or match the error",
         scope: LIB_CRATES,
     },
 ];
@@ -156,6 +163,7 @@ fn lint_tokens(rel: &str, crate_name: &str, lexed: &Lexed) -> Vec<Diagnostic> {
             "lossy-time-cast" => lossy_time_cast(tokens, &mask),
             "result-api" => result_api(tokens, &mask),
             "unchecked-indexing" => unchecked_indexing(tokens, &mask),
+            "silent-drop" => silent_drop(tokens, &mask),
             _ => Vec::new(),
         };
         for (line, message) in found {
@@ -560,6 +568,58 @@ fn unchecked_indexing(tokens: &[Token], mask: &[bool]) -> Vec<(u32, String)> {
                 ));
             }
         }
+    }
+    out
+}
+
+fn silent_drop(tokens: &[Token], mask: &[bool]) -> Vec<(u32, String)> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i + 2 < tokens.len() {
+        if mask[i]
+            || !tokens[i].is_ident("let")
+            || !tokens[i + 1].is_ident("_")
+            || !tokens[i + 2].is_punct('=')
+        {
+            i += 1;
+            continue;
+        }
+        // Scan the initializer to its terminating `;` at bracket depth
+        // zero; the discard is silent only if something in it is called
+        // (a function/method call or a macro invocation) — dropping a
+        // plain value binds nothing fallible.
+        let mut j = i + 3;
+        let mut depth = 0i32;
+        let mut calls = false;
+        while j < tokens.len() {
+            let t = &tokens[j];
+            if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+                depth += 1;
+            } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+                depth -= 1;
+            } else if depth == 0 && t.is_punct(';') {
+                break;
+            }
+            if t.kind == TokKind::Ident {
+                let next = tokens.get(j + 1);
+                let call = next.is_some_and(|n| n.is_punct('('));
+                let mac = next.is_some_and(|n| n.is_punct('!'))
+                    && tokens
+                        .get(j + 2)
+                        .is_some_and(|n| n.is_punct('(') || n.is_punct('[') || n.is_punct('{'));
+                if call || mac {
+                    calls = true;
+                }
+            }
+            j += 1;
+        }
+        if calls {
+            out.push((
+                tokens[i].line,
+                "`let _ =` silently discards the call's result; handle the error, match it, or justify with lint:allow".to_string(),
+            ));
+        }
+        i = j + 1;
     }
     out
 }

@@ -294,6 +294,19 @@ mod fixture_tests {
     }
 
     #[test]
+    fn catches_silent_result_drops() {
+        let diags = lint_source("crates/logstore/src/fixture.rs", &fixture("silent_drop.rs"));
+        let drops: Vec<_> = diags.iter().filter(|d| d.rule == "silent-drop").collect();
+        assert_eq!(drops.len(), 2, "diags: {diags:?}");
+        // Named bindings, plain-value drops, suppressed sites, and test
+        // code must all stay clean.
+        assert!(
+            drops.iter().all(|d| d.line == 7 || d.line == 11),
+            "diags: {drops:?}"
+        );
+    }
+
+    #[test]
     fn suppressions_silence_seeded_violations() {
         let diags = lint_source("crates/stats/src/fixture.rs", &fixture("suppressed.rs"));
         assert!(
