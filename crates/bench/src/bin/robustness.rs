@@ -25,6 +25,7 @@ use logdep_logstore::codec::write_store;
 use logdep_logstore::ingest::{read_store_resilient, IngestPolicy};
 use logdep_logstore::time::TimeRange;
 use logdep_logstore::{LogStore, Millis, SourceId};
+use logdep_par::ParConfig;
 use serde::Serialize;
 
 #[derive(Serialize, Clone, Copy, PartialEq, Debug)]
@@ -183,6 +184,7 @@ fn pipeline_config(wb: &Workbench) -> PipelineConfig {
         l1: Some(wb.l1_config()),
         l2: Some(wb.l2_config()),
         l3: Some(wb.l3_config()),
+        par: ParConfig::default(),
     }
 }
 

@@ -3,15 +3,16 @@
 use crate::args::Args;
 use logdep::evolution::app_service_churn;
 use logdep::graph::DependencyGraph;
-use logdep::l1::{run_l1, L1Config};
-use logdep::l2::{run_l2, L2Config};
-use logdep::l3::{run_l3, L3Config};
+use logdep::l1::{run_l1_pool, L1Config};
+use logdep::l2::{run_l2_pool, L2Config};
+use logdep::l3::{run_l3, run_l3_pool, L3Config};
 use logdep::AppServiceModel;
 use logdep_faults::{inject as inject_faults, FaultConfig};
 use logdep_logstore::codec::write_store;
 use logdep_logstore::ingest::{read_store_resilient, IngestPolicy};
 use logdep_logstore::time::TimeRange;
 use logdep_logstore::{LogStore, Millis};
+use logdep_par::ParConfig;
 use logdep_sessions::{reconstruct, SessionConfig};
 use logdep_sim::textgen::standard_stop_patterns;
 use logdep_sim::{simulate as run_sim, ServiceDirectory, SimConfig};
@@ -26,9 +27,10 @@ logdep — dependency models mined from logs (Steinle et al., VLDB 2006)
 
 commands:
   simulate  --out LOGS.tsv --directory DIR.xml [--days N --seed N --scale X]
-  l1        --logs LOGS.tsv [--minlogs N --days N]
-  l2        --logs LOGS.tsv [--timeout MS --days N]
-  l3        --logs LOGS.tsv --directory DIR.xml [--stop-patterns FILE --days N]
+  l1        --logs LOGS.tsv [--minlogs N --days N --threads N]
+  l2        --logs LOGS.tsv [--timeout MS --days N --threads N]
+  l3        --logs LOGS.tsv --directory DIR.xml [--stop-patterns FILE --days N
+            --threads N]
   sessions  --logs LOGS.tsv
   templates --logs LOGS.tsv --source APP [--support N]
   churn     --before A.tsv --after B.tsv --directory DIR.xml
@@ -38,7 +40,11 @@ commands:
             --ledger LEDGER.json]
   ingest    --logs LOGS.tsv [--max-error-fraction X --dedup BOOL
             --report REPORT.json]
-  help";
+  help
+
+--threads N sets the mining worker-pool width (1 = the serial path;
+results are identical at every width). Without the flag the
+LOGDEP_THREADS environment variable decides, then the hardware.";
 
 type CmdResult = Result<(), Box<dyn Error>>;
 
@@ -77,6 +83,21 @@ fn load_directory(path: &str) -> Result<Vec<String>, Box<dyn Error>> {
 fn full_range(args: &Args) -> Result<TimeRange, Box<dyn Error>> {
     let days: i64 = args.parsed_or("days", 365)?;
     Ok(TimeRange::new(Millis(0), Millis::from_days(days)))
+}
+
+/// Pool width for the mining commands: `--threads N` wins, else the
+/// `LOGDEP_THREADS` environment variable, else the hardware. `--threads
+/// 0` is rejected (the serial path is `--threads 1`).
+fn par_config(args: &Args) -> Result<ParConfig, Box<dyn Error>> {
+    match args.optional("threads") {
+        None => Ok(ParConfig::default()),
+        Some(v) => {
+            let n: usize = v
+                .parse()
+                .map_err(|_| format!("flag --threads: cannot parse {v:?}"))?;
+            ParConfig::with_threads(n).map_err(|e| format!("flag --threads: {e}").into())
+        }
+    }
 }
 
 /// `logdep simulate` — generate a synthetic week as TSV + directory XML.
@@ -129,7 +150,13 @@ pub fn l1(args: &Args, out: &mut dyn Write) -> CmdResult {
         ..L1Config::default()
     };
     let sources = store.active_sources();
-    let res = run_l1(&store, full_range(args)?, &sources, &cfg)?;
+    let res = run_l1_pool(
+        &store,
+        full_range(args)?,
+        &sources,
+        &cfg,
+        &par_config(args)?,
+    )?;
     writeln!(out, "L1: {} dependent pairs", res.detected.len())?;
     for (a, b) in res.detected.iter() {
         writeln!(
@@ -150,7 +177,7 @@ pub fn l2(args: &Args, out: &mut dyn Write) -> CmdResult {
         timeout_ms: (timeout > 0).then_some(timeout),
         ..L2Config::default()
     };
-    let res = run_l2(&store, full_range(args)?, &cfg)?;
+    let res = run_l2_pool(&store, full_range(args)?, &cfg, &par_config(args)?)?;
     writeln!(
         out,
         "L2: {} sessions, {} bigrams, {} dependent pairs",
@@ -185,7 +212,7 @@ pub fn l3(args: &Args, out: &mut dyn Write) -> CmdResult {
     let store = load_logs(args.required("logs")?)?;
     let ids = load_directory(args.required("directory")?)?;
     let cfg = l3_config(args)?;
-    let res = run_l3(&store, full_range(args)?, &ids, &cfg)?;
+    let res = run_l3_pool(&store, full_range(args)?, &ids, &cfg, &par_config(args)?)?;
     writeln!(
         out,
         "L3: {} dependencies ({} logs stopped by {} patterns)",

@@ -119,6 +119,59 @@ fn l1_runs_on_simulated_logs() {
 }
 
 #[test]
+fn threads_flag_changes_nothing_but_zero_is_rejected() {
+    let dir = TempDir::new("threads");
+    let (logs, directory) = simulated(&dir);
+
+    // Same mining output at every pool width, across all three techniques.
+    let (code, serial) = run(&["l1", "--logs", &logs, "--minlogs", "12", "--threads", "1"]);
+    assert_eq!(code, 0, "{serial}");
+    let (code, wide) = run(&["l1", "--logs", &logs, "--minlogs", "12", "--threads", "3"]);
+    assert_eq!(code, 0, "{wide}");
+    assert_eq!(serial, wide, "L1 output must not depend on --threads");
+
+    let (code, serial) = run(&["l2", "--logs", &logs, "--threads", "1"]);
+    assert_eq!(code, 0, "{serial}");
+    let (code, wide) = run(&["l2", "--logs", &logs, "--threads", "4"]);
+    assert_eq!(code, 0, "{wide}");
+    assert_eq!(serial, wide, "L2 output must not depend on --threads");
+
+    let l3_run = |n: &str| {
+        run(&[
+            "l3",
+            "--logs",
+            &logs,
+            "--directory",
+            &directory,
+            "--stop-patterns",
+            "standard",
+            "--threads",
+            n,
+        ])
+    };
+    let (code, serial) = l3_run("1");
+    assert_eq!(code, 0, "{serial}");
+    let (code, wide) = l3_run("2");
+    assert_eq!(code, 0, "{wide}");
+    assert_eq!(serial, wide, "L3 output must not depend on --threads");
+
+    // Zero threads is a clean usage error on every mining command.
+    for cmd in ["l1", "l2"] {
+        let (code, out) = run(&[cmd, "--logs", &logs, "--threads", "0"]);
+        assert_eq!(code, 1, "{out}");
+        assert!(out.contains("--threads"), "{out}");
+    }
+    let (code, out) = l3_run("0");
+    assert_eq!(code, 1, "{out}");
+    assert!(out.contains("--threads"), "{out}");
+
+    // And so is a non-numeric value.
+    let (code, out) = run(&["l1", "--logs", &logs, "--threads", "many"]);
+    assert_eq!(code, 1, "{out}");
+    assert!(out.contains("--threads"), "{out}");
+}
+
+#[test]
 fn churn_between_two_exports() {
     let dir = TempDir::new("churn");
     let (logs_a, directory) = simulated(&dir);

@@ -12,13 +12,15 @@
 //! thresholds rescale to the surviving detectors.
 
 use crate::ensemble::{app_service_to_pairs, Ensemble};
-use crate::l1::{run_l1, L1Config};
-use crate::l2::{run_l2, L2Config};
-use crate::l3::{run_l3, L3Config};
+use crate::l1::{run_l1_pool, L1Config};
+use crate::l2::{run_l2_pool, L2Config};
+use crate::l3::{run_l3_pool, L3Config};
 use crate::model::{AppServiceModel, PairModel};
 use logdep_logstore::time::TimeRange;
 use logdep_logstore::{LogStore, SourceId};
+use logdep_par::ParConfig;
 use serde::{Deserialize, Serialize};
+use std::time::Instant;
 
 /// The three mining techniques, as health-report subjects.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -55,26 +57,33 @@ pub struct DetectorHealth {
     pub enabled: bool,
     /// Number of dependencies it detected (0 when it failed).
     pub detected: usize,
+    /// Wall-clock time the detector spent, in microseconds (0 when
+    /// disabled). Observational only — it is *not* part of the
+    /// scientific output, and the differential harness excludes it
+    /// when asserting parallel ≡ serial.
+    pub elapsed_us: u64,
 }
 
 impl DetectorHealth {
-    fn ran(detector: DetectorKind, detected: usize) -> Self {
+    fn ran(detector: DetectorKind, detected: usize, elapsed_us: u64) -> Self {
         Self {
             detector,
             ok: true,
             error: None,
             enabled: true,
             detected,
+            elapsed_us,
         }
     }
 
-    fn failed(detector: DetectorKind, error: String) -> Self {
+    fn failed(detector: DetectorKind, error: String, elapsed_us: u64) -> Self {
         Self {
             detector,
             ok: false,
             error: Some(error),
             enabled: true,
             detected: 0,
+            elapsed_us,
         }
     }
 
@@ -85,6 +94,7 @@ impl DetectorHealth {
             error: None,
             enabled: false,
             detected: 0,
+            elapsed_us: 0,
         }
     }
 }
@@ -99,6 +109,10 @@ pub struct PipelineConfig {
     pub l2: Option<L2Config>,
     /// L3 configuration, or `None` to skip L3.
     pub l3: Option<L3Config>,
+    /// Worker-pool configuration shared by all three detectors. The
+    /// default reads `LOGDEP_THREADS` (falling back to the hardware);
+    /// [`ParConfig::serial`] forces the plain sequential path.
+    pub par: ParConfig,
 }
 
 impl PipelineConfig {
@@ -108,6 +122,15 @@ impl PipelineConfig {
             l1: Some(L1Config::default()),
             l2: Some(L2Config::default()),
             l3: Some(L3Config::default()),
+            par: ParConfig::default(),
+        }
+    }
+
+    /// `all_defaults` with an explicit pool configuration.
+    pub fn all_defaults_with_par(par: ParConfig) -> Self {
+        Self {
+            par,
+            ..Self::all_defaults()
         }
     }
 }
@@ -142,11 +165,96 @@ impl PipelineOutcome {
     }
 }
 
+fn l1_step(
+    store: &LogStore,
+    range: TimeRange,
+    cfg: Option<&L1Config>,
+    par: &ParConfig,
+) -> (DetectorHealth, Option<PairModel>) {
+    let Some(l1_cfg) = cfg else {
+        return (DetectorHealth::disabled(DetectorKind::L1), None);
+    };
+    let start = Instant::now();
+    let sources = store.active_sources();
+    let outcome = run_l1_pool(store, range, &sources, l1_cfg, par);
+    let us = elapsed_us(start);
+    match outcome {
+        Ok(res) => (
+            DetectorHealth::ran(DetectorKind::L1, res.detected.len(), us),
+            Some(res.detected),
+        ),
+        Err(e) => (
+            DetectorHealth::failed(DetectorKind::L1, e.to_string(), us),
+            None,
+        ),
+    }
+}
+
+fn l2_step(
+    store: &LogStore,
+    range: TimeRange,
+    cfg: Option<&L2Config>,
+    par: &ParConfig,
+) -> (DetectorHealth, Option<PairModel>) {
+    let Some(l2_cfg) = cfg else {
+        return (DetectorHealth::disabled(DetectorKind::L2), None);
+    };
+    let start = Instant::now();
+    let outcome = run_l2_pool(store, range, l2_cfg, par);
+    let us = elapsed_us(start);
+    match outcome {
+        Ok(res) => (
+            DetectorHealth::ran(DetectorKind::L2, res.detected.len(), us),
+            Some(res.detected),
+        ),
+        Err(e) => (
+            DetectorHealth::failed(DetectorKind::L2, e.to_string(), us),
+            None,
+        ),
+    }
+}
+
+fn l3_step(
+    store: &LogStore,
+    range: TimeRange,
+    service_ids: &[String],
+    cfg: Option<&L3Config>,
+    par: &ParConfig,
+) -> (DetectorHealth, Option<AppServiceModel>) {
+    let Some(l3_cfg) = cfg else {
+        return (DetectorHealth::disabled(DetectorKind::L3), None);
+    };
+    let start = Instant::now();
+    let outcome = run_l3_pool(store, range, service_ids, l3_cfg, par);
+    let us = elapsed_us(start);
+    match outcome {
+        Ok(res) => (
+            DetectorHealth::ran(DetectorKind::L3, res.detected.len(), us),
+            Some(res.detected),
+        ),
+        Err(e) => (
+            DetectorHealth::failed(DetectorKind::L3, e.to_string(), us),
+            None,
+        ),
+    }
+}
+
+fn elapsed_us(start: Instant) -> u64 {
+    u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX)
+}
+
 /// Runs L1/L2/L3 in isolation over `range`, never failing as a whole:
 /// a detector erroring yields a [`DetectorHealth`] entry with `ok:
 /// false` while the others proceed, and the returned
 /// [`Ensemble`] combines the partial detector set (vote thresholds
 /// rescale via [`Ensemble::at_least_rescaled`]).
+///
+/// With `cfg.par` above one thread the three detectors also run
+/// *concurrently* on a [`logdep_par::scope`] (L1 and L2 on pool
+/// workers, L3 on the calling thread), each internally sharding on the
+/// same pool configuration. `threads = 1` is the plain sequential
+/// loop; either way the outputs are bit-identical, only
+/// [`DetectorHealth::elapsed_us`] varies.
 ///
 /// `owners` maps service index → owning application (as in
 /// [`app_service_to_pairs`]); without it L3 still runs but cannot vote
@@ -158,54 +266,41 @@ pub fn run_pipeline(
     owners: Option<&[SourceId]>,
     cfg: &PipelineConfig,
 ) -> PipelineOutcome {
-    let mut out = PipelineOutcome::default();
+    let par = &cfg.par;
+    let ((h1, l1_pairs), (h2, l2_pairs), (h3, l3_deps)) = if par.is_serial() {
+        (
+            l1_step(store, range, cfg.l1.as_ref(), par),
+            l2_step(store, range, cfg.l2.as_ref(), par),
+            l3_step(store, range, service_ids, cfg.l3.as_ref(), par),
+        )
+    } else {
+        logdep_par::scope(|s| {
+            let t1 = s.spawn(|| l1_step(store, range, cfg.l1.as_ref(), par));
+            let t2 = s.spawn(|| l2_step(store, range, cfg.l2.as_ref(), par));
+            let r3 = l3_step(store, range, service_ids, cfg.l3.as_ref(), par);
+            let r1 = match t1.join() {
+                Ok(r) => r,
+                Err(payload) => std::panic::resume_unwind(payload),
+            };
+            let r2 = match t2.join() {
+                Ok(r) => r,
+                Err(payload) => std::panic::resume_unwind(payload),
+            };
+            (r1, r2, r3)
+        })
+    };
 
-    match &cfg.l1 {
-        Some(l1_cfg) => {
-            let sources = store.active_sources();
-            match run_l1(store, range, &sources, l1_cfg) {
-                Ok(res) => {
-                    out.health
-                        .push(DetectorHealth::ran(DetectorKind::L1, res.detected.len()));
-                    out.l1_pairs = Some(res.detected);
-                }
-                Err(e) => out
-                    .health
-                    .push(DetectorHealth::failed(DetectorKind::L1, e.to_string())),
-            }
-        }
-        None => out.health.push(DetectorHealth::disabled(DetectorKind::L1)),
-    }
-
-    match &cfg.l2 {
-        Some(l2_cfg) => match run_l2(store, range, l2_cfg) {
-            Ok(res) => {
-                out.health
-                    .push(DetectorHealth::ran(DetectorKind::L2, res.detected.len()));
-                out.l2_pairs = Some(res.detected);
-            }
-            Err(e) => out
-                .health
-                .push(DetectorHealth::failed(DetectorKind::L2, e.to_string())),
+    let mut out = PipelineOutcome {
+        l1_pairs,
+        l2_pairs,
+        l3_pairs: match (&l3_deps, owners) {
+            (Some(deps), Some(o)) => Some(app_service_to_pairs(deps, o)),
+            _ => None,
         },
-        None => out.health.push(DetectorHealth::disabled(DetectorKind::L2)),
-    }
-
-    match &cfg.l3 {
-        Some(l3_cfg) => match run_l3(store, range, service_ids, l3_cfg) {
-            Ok(res) => {
-                out.health
-                    .push(DetectorHealth::ran(DetectorKind::L3, res.detected.len()));
-                out.l3_pairs = owners.map(|o| app_service_to_pairs(&res.detected, o));
-                out.l3_deps = Some(res.detected);
-            }
-            Err(e) => out
-                .health
-                .push(DetectorHealth::failed(DetectorKind::L3, e.to_string())),
-        },
-        None => out.health.push(DetectorHealth::disabled(DetectorKind::L3)),
-    }
-
+        l3_deps,
+        health: vec![h1, h2, h3],
+        ..PipelineOutcome::default()
+    };
     out.ensemble = Ensemble::combine_partial(
         out.l1_pairs.as_ref(),
         out.l2_pairs.as_ref(),
@@ -319,6 +414,40 @@ mod tests {
         assert!(out.l3_deps.is_some(), "L3 ran");
         assert!(out.l3_pairs.is_none(), "no owner relation, no vote");
         assert_eq!(out.ensemble.available()[2], false);
+    }
+
+    #[test]
+    fn concurrent_pipeline_matches_serial_and_times_detectors() {
+        let (store, ids, owners) = fixture();
+        let serial = run_pipeline(
+            &store,
+            full_range(),
+            &ids,
+            Some(&owners),
+            &PipelineConfig::all_defaults_with_par(ParConfig::serial()),
+        );
+        let par4 = ParConfig::with_threads(4).expect("4 >= 1");
+        let parallel = run_pipeline(
+            &store,
+            full_range(),
+            &ids,
+            Some(&owners),
+            &PipelineConfig::all_defaults_with_par(par4),
+        );
+        assert_eq!(serial.l1_pairs, parallel.l1_pairs);
+        assert_eq!(serial.l2_pairs, parallel.l2_pairs);
+        assert_eq!(serial.l3_deps, parallel.l3_deps);
+        assert_eq!(serial.l3_pairs, parallel.l3_pairs);
+        assert_eq!(serial.ensemble, parallel.ensemble);
+        // Health agrees on everything but the wall-clock field.
+        for (a, b) in serial.health.iter().zip(parallel.health.iter()) {
+            assert_eq!(a.detector, b.detector);
+            assert_eq!(a.ok, b.ok);
+            assert_eq!(a.enabled, b.enabled);
+            assert_eq!(a.detected, b.detected);
+            assert!(a.ok && a.elapsed_us > 0, "{a:?}");
+            assert!(b.elapsed_us > 0, "{b:?}");
+        }
     }
 
     #[test]

@@ -13,6 +13,7 @@ use super::test::{b_side, decide, random_side, side_from_points, DistanceSamples
 use crate::model::PairModel;
 use logdep_logstore::time::TimeRange;
 use logdep_logstore::{LogStore, Millis, SourceId};
+use logdep_par::{par_map, ParConfig};
 use logdep_stats::sampling::Sampler;
 use serde::{Deserialize, Serialize};
 
@@ -45,16 +46,29 @@ pub struct L1Result {
 }
 
 /// Runs technique L1 on `range`, considering the given candidate
-/// sources (pass `store.active_sources()` for "everything").
+/// sources (pass `store.active_sources()` for "everything"). Thread
+/// count comes from [`ParConfig::default`] (`LOGDEP_THREADS` or the
+/// hardware); results are bit-identical at every thread count.
 pub fn run_l1(
     store: &LogStore,
     range: TimeRange,
     sources: &[SourceId],
     cfg: &L1Config,
 ) -> crate::Result<L1Result> {
+    run_l1_pool(store, range, sources, cfg, &ParConfig::default())
+}
+
+/// [`run_l1`] with an explicit worker-pool configuration.
+pub fn run_l1_pool(
+    store: &LogStore,
+    range: TimeRange,
+    sources: &[SourceId],
+    cfg: &L1Config,
+    par: &ParConfig,
+) -> crate::Result<L1Result> {
     cfg.validate()?;
     let slots = range.split(cfg.slot_ms);
-    run_l1_slots(store, &slots, sources, cfg)
+    run_l1_slots_pool(store, &slots, sources, cfg, par)
 }
 
 /// Runs technique L1 over an explicit slot list — the entry point for
@@ -65,98 +79,43 @@ pub fn run_l1_slots(
     sources: &[SourceId],
     cfg: &L1Config,
 ) -> crate::Result<L1Result> {
+    run_l1_slots_pool(store, slots, sources, cfg, &ParConfig::default())
+}
+
+/// [`run_l1_slots`] with an explicit worker-pool configuration.
+///
+/// Slots are independent by construction (every RNG stream is seeded
+/// from `(seed, slot, source)` alone), so the (pair × slot) distance
+/// tests fan out per slot on the pool and the per-slot evidence is
+/// merged by counting in canonical slot-then-pair order — the exact
+/// accumulation the serial loop performs.
+pub fn run_l1_slots_pool(
+    store: &LogStore,
+    slots: &[TimeRange],
+    sources: &[SourceId],
+    cfg: &L1Config,
+    par: &ParConfig,
+) -> crate::Result<L1Result> {
     cfg.validate()?;
     let n_slots = slots.len();
 
-    // Pair accumulators, indexed by (i, j) position in `sources`.
+    // Fan out: one independent evidence computation per slot.
+    let indexed: Vec<(usize, TimeRange)> = slots.iter().copied().enumerate().collect();
+    let per_slot: Vec<Vec<(usize, usize, bool)>> = par_map(par, &indexed, |&(slot_idx, slot)| {
+        slot_evidence(store, slot_idx, slot, sources, cfg)
+    });
+
+    // Deterministic merge: pair accumulators indexed by (i, j) position
+    // in `sources`, summed in slot order (addition is order-free, so
+    // this equals the serial accumulation bit for bit).
     let k = sources.len();
     let mut support = vec![0u32; k * k];
     let mut positives = vec![0u32; k * k];
-
-    for (slot_idx, slot) in slots.iter().enumerate() {
-        // Sources active enough in this slot.
-        let active: Vec<usize> = (0..k)
-            .filter(|&i| store.timeline(sources[i]).count_in(*slot) >= cfg.minlogs)
-            .collect();
-        if active.len() < 2 {
-            continue;
-        }
-
-        // Random-side samples per active source (role A), shared across
-        // partners. Seeded per (seed, slot, source) for reproducibility
-        // independent of iteration order.
-        let mut random_sides: Vec<Option<DistanceSamples>> = Vec::with_capacity(active.len());
-        for &i in &active {
-            let mut sampler =
-                Sampler::from_seed(cfg.seed ^ (slot_idx as u64) << 20 ^ sources[i].0 as u64);
-            let side = match cfg.reference {
-                ReferenceProcess::Homogeneous => {
-                    random_side(store.timeline(sources[i]), *slot, cfg, &mut sampler)
-                }
-                ReferenceProcess::LoadProportional => {
-                    // Sample comparison points from the *overall* log
-                    // process (jittered), so shared diurnal structure
-                    // cancels out of the comparison (§5).
-                    let pool = store.range(*slot);
-                    let picks: Vec<Millis> = (0..cfg.sample_size)
-                        .filter(|_| !pool.is_empty())
-                        .map(|_| {
-                            let r = &pool[sampler.index(pool.len())];
-                            Millis(r.client_ts.0 + (sampler.unit() * 4_000.0) as i64 - 2_000)
-                        })
-                        .collect();
-                    side_from_points(store.timeline(sources[i]), &picks, cfg)
-                }
-            };
-            random_sides.push(side);
-        }
-
-        for (ai, &i) in active.iter().enumerate() {
-            for (bi, &j) in active.iter().enumerate() {
-                if bi <= ai {
-                    continue;
-                }
-                support[i * k + j] += 1;
-                // Direction 1: is B attracted to A?
-                let pos_ab = match &random_sides[ai] {
-                    Some(r) => {
-                        let a_tl = store.timeline(sources[i]);
-                        let b_slot = store.timeline(sources[j]).slice_in(*slot);
-                        let mut sampler = Sampler::from_seed(
-                            cfg.seed
-                                ^ 0x0b51de
-                                ^ (slot_idx as u64) << 24
-                                ^ (sources[i].0 as u64) << 12
-                                ^ sources[j].0 as u64,
-                        );
-                        b_side(a_tl, b_slot, cfg, &mut sampler)
-                            .map(|b| decide(&b, r, cfg))
-                            .unwrap_or(false)
-                    }
-                    None => false,
-                };
-                // Direction 2: is A attracted to B? (only if needed)
-                let pos_both = pos_ab
-                    && match &random_sides[bi] {
-                        Some(r) => {
-                            let b_tl = store.timeline(sources[j]);
-                            let a_slot = store.timeline(sources[i]).slice_in(*slot);
-                            let mut sampler = Sampler::from_seed(
-                                cfg.seed
-                                    ^ 0x0b51de
-                                    ^ (slot_idx as u64) << 24
-                                    ^ (sources[j].0 as u64) << 12
-                                    ^ sources[i].0 as u64,
-                            );
-                            b_side(b_tl, a_slot, cfg, &mut sampler)
-                                .map(|b| decide(&b, r, cfg))
-                                .unwrap_or(false)
-                        }
-                        None => false,
-                    };
-                if pos_both {
-                    positives[i * k + j] += 1;
-                }
+    for evidence in &per_slot {
+        for &(i, j, positive) in evidence {
+            support[i * k + j] += 1;
+            if positive {
+                positives[i * k + j] += 1;
             }
         }
     }
@@ -193,6 +152,104 @@ pub fn run_l1_slots(
         outcomes,
         n_slots,
     })
+}
+
+/// Evidence of one slot: `(i, j, positive)` per pair (positions in
+/// `sources`, `i < j`) where both sides cleared `minlogs`. Pure in
+/// `(slot_idx, slot)` — every RNG stream is seeded per (seed, slot,
+/// source) — so slots can be evaluated in any order or concurrently.
+fn slot_evidence(
+    store: &LogStore,
+    slot_idx: usize,
+    slot: TimeRange,
+    sources: &[SourceId],
+    cfg: &L1Config,
+) -> Vec<(usize, usize, bool)> {
+    let k = sources.len();
+    // Sources active enough in this slot.
+    let active: Vec<usize> = (0..k)
+        .filter(|&i| store.timeline(sources[i]).count_in(slot) >= cfg.minlogs)
+        .collect();
+    if active.len() < 2 {
+        return Vec::new();
+    }
+
+    // Random-side samples per active source (role A), shared across
+    // partners. Seeded per (seed, slot, source) for reproducibility
+    // independent of iteration order.
+    let mut random_sides: Vec<Option<DistanceSamples>> = Vec::with_capacity(active.len());
+    for &i in &active {
+        let mut sampler =
+            Sampler::from_seed(cfg.seed ^ (slot_idx as u64) << 20 ^ sources[i].0 as u64);
+        let side = match cfg.reference {
+            ReferenceProcess::Homogeneous => {
+                random_side(store.timeline(sources[i]), slot, cfg, &mut sampler)
+            }
+            ReferenceProcess::LoadProportional => {
+                // Sample comparison points from the *overall* log
+                // process (jittered), so shared diurnal structure
+                // cancels out of the comparison (§5).
+                let pool = store.range(slot);
+                let picks: Vec<Millis> = (0..cfg.sample_size)
+                    .filter(|_| !pool.is_empty())
+                    .map(|_| {
+                        let r = &pool[sampler.index(pool.len())];
+                        Millis(r.client_ts.0 + (sampler.unit() * 4_000.0) as i64 - 2_000)
+                    })
+                    .collect();
+                side_from_points(store.timeline(sources[i]), &picks, cfg)
+            }
+        };
+        random_sides.push(side);
+    }
+
+    let mut evidence = Vec::new();
+    for (ai, &i) in active.iter().enumerate() {
+        for (bi, &j) in active.iter().enumerate() {
+            if bi <= ai {
+                continue;
+            }
+            // Direction 1: is B attracted to A?
+            let pos_ab = match &random_sides[ai] {
+                Some(r) => {
+                    let a_tl = store.timeline(sources[i]);
+                    let b_slot = store.timeline(sources[j]).slice_in(slot);
+                    let mut sampler = Sampler::from_seed(
+                        cfg.seed
+                            ^ 0x0b51de
+                            ^ (slot_idx as u64) << 24
+                            ^ (sources[i].0 as u64) << 12
+                            ^ sources[j].0 as u64,
+                    );
+                    b_side(a_tl, b_slot, cfg, &mut sampler)
+                        .map(|b| decide(&b, r, cfg))
+                        .unwrap_or(false)
+                }
+                None => false,
+            };
+            // Direction 2: is A attracted to B? (only if needed)
+            let pos_both = pos_ab
+                && match &random_sides[bi] {
+                    Some(r) => {
+                        let b_tl = store.timeline(sources[j]);
+                        let a_slot = store.timeline(sources[i]).slice_in(slot);
+                        let mut sampler = Sampler::from_seed(
+                            cfg.seed
+                                ^ 0x0b51de
+                                ^ (slot_idx as u64) << 24
+                                ^ (sources[j].0 as u64) << 12
+                                ^ sources[i].0 as u64,
+                        );
+                        b_side(b_tl, a_slot, cfg, &mut sampler)
+                            .map(|b| decide(&b, r, cfg))
+                            .unwrap_or(false)
+                    }
+                    None => false,
+                };
+            evidence.push((i, j, pos_both));
+        }
+    }
+    evidence
 }
 
 #[cfg(test)]

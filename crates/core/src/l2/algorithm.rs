@@ -1,9 +1,10 @@
 //! The session-mining runner of technique L2.
 
-use super::bigrams::{extract_bigrams, BigramCounts};
+use super::bigrams::{extract_bigrams_pool, BigramCounts};
 use crate::model::PairModel;
 use logdep_logstore::time::TimeRange;
 use logdep_logstore::{LogStore, SourceId};
+use logdep_par::ParConfig;
 use logdep_sessions::{reconstruct_range, SessionConfig, SessionStats};
 use logdep_stats::contingency::{association_test, AssociationStatistic, Table2x2};
 use serde::{Deserialize, Serialize};
@@ -96,11 +97,26 @@ pub struct L2Result {
     pub session_stats: SessionStats,
 }
 
-/// Runs technique L2 on the records within `range`.
+/// Runs technique L2 on the records within `range`. Thread count comes
+/// from [`ParConfig::default`] (`LOGDEP_THREADS` or the hardware);
+/// results are bit-identical at every thread count.
 pub fn run_l2(store: &LogStore, range: TimeRange, cfg: &L2Config) -> crate::Result<L2Result> {
+    run_l2_pool(store, range, cfg, &ParConfig::default())
+}
+
+/// [`run_l2`] with an explicit worker-pool configuration. Bigram
+/// counting shards across sessions on the pool (see
+/// [`extract_bigrams_pool`]); the G² pass over the deterministic,
+/// sorted type list stays serial — it is a few hundred 2×2 tests.
+pub fn run_l2_pool(
+    store: &LogStore,
+    range: TimeRange,
+    cfg: &L2Config,
+    par: &ParConfig,
+) -> crate::Result<L2Result> {
     cfg.validate()?;
     let session_set = reconstruct_range(store, range, &cfg.session);
-    let bigrams = extract_bigrams(&session_set.sessions, cfg.timeout_ms);
+    let bigrams = extract_bigrams_pool(&session_set.sessions, cfg.timeout_ms, par);
 
     let mut detected = PairModel::new();
     let mut outcomes = Vec::new();

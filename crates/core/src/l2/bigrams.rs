@@ -1,6 +1,7 @@
 //! Bigram extraction and counting.
 
 use logdep_logstore::SourceId;
+use logdep_par::{par_chunks_fold, ParConfig};
 use logdep_sessions::Session;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -38,28 +39,72 @@ impl BigramCounts {
 /// *timeout* bigram still advances the window — the successor of a
 /// too-distant pair starts from the later log.
 pub fn extract_bigrams(sessions: &[Session], timeout_ms: Option<i64>) -> BigramCounts {
-    let mut counts = BigramCounts::default();
-    for session in sessions {
-        for w in session.entries.windows(2) {
-            let (first, second) = (w[0], w[1]);
-            if first.source == second.source {
+    extract_bigrams_pool(sessions, timeout_ms, &ParConfig::serial())
+}
+
+/// [`extract_bigrams`] sharded over the pool: sessions are split into
+/// contiguous chunks, each worker counts into a private contingency
+/// map, and the per-shard maps are merged with saturating adds in
+/// shard order. Sessions never share a bigram (no window crosses a
+/// session boundary) and counter addition is order-free, so the result
+/// is identical to the serial count at every thread count.
+pub fn extract_bigrams_pool(
+    sessions: &[Session],
+    timeout_ms: Option<i64>,
+    par: &ParConfig,
+) -> BigramCounts {
+    par_chunks_fold(
+        par,
+        sessions,
+        BigramCounts::default,
+        |mut counts, session| {
+            count_session(&mut counts, session, timeout_ms);
+            counts
+        },
+        merge_counts,
+    )
+}
+
+/// Counts one session's bigrams into `counts` — the serial inner loop.
+fn count_session(counts: &mut BigramCounts, session: &Session, timeout_ms: Option<i64>) {
+    for w in session.entries.windows(2) {
+        let (first, second) = (w[0], w[1]);
+        if first.source == second.source {
+            continue;
+        }
+        if let Some(to) = timeout_ms {
+            if second.ts - first.ts > to {
                 continue;
             }
-            if let Some(to) = timeout_ms {
-                if second.ts - first.ts > to {
-                    continue;
-                }
-            }
-            *counts
-                .joint
-                .entry((first.source, second.source))
-                .or_insert(0) += 1;
-            *counts.first_margin.entry(first.source).or_insert(0) += 1;
-            *counts.second_margin.entry(second.source).or_insert(0) += 1;
-            counts.total += 1;
         }
+        *counts
+            .joint
+            .entry((first.source, second.source))
+            .or_insert(0) += 1;
+        *counts.first_margin.entry(first.source).or_insert(0) += 1;
+        *counts.second_margin.entry(second.source).or_insert(0) += 1;
+        counts.total += 1;
     }
-    counts
+}
+
+/// Merges two shard counts, saturating on overflow so a hostile 2⁶⁴-
+/// bigram stream degrades to pinned counters instead of wrapping (the
+/// same hardening as the contingency tables downstream).
+pub fn merge_counts(mut a: BigramCounts, b: BigramCounts) -> BigramCounts {
+    for (key, count) in b.joint {
+        let slot = a.joint.entry(key).or_insert(0);
+        *slot = slot.saturating_add(count);
+    }
+    for (key, count) in b.first_margin {
+        let slot = a.first_margin.entry(key).or_insert(0);
+        *slot = slot.saturating_add(count);
+    }
+    for (key, count) in b.second_margin {
+        let slot = a.second_margin.entry(key).or_insert(0);
+        *slot = slot.saturating_add(count);
+    }
+    a.total = a.total.saturating_add(b.total);
+    a
 }
 
 #[cfg(test)]
@@ -171,6 +216,42 @@ mod tests {
         let counts = extract_bigrams(&[], None);
         assert_eq!(counts.total, 0);
         assert_eq!(counts.n_types(), 0);
+    }
+
+    #[test]
+    fn sharded_extraction_matches_serial_at_any_thread_count() {
+        // Many small sessions with varied structure; shard boundaries
+        // land all over the place across thread counts.
+        let sessions: Vec<Session> = (0..37)
+            .map(|k| {
+                let base = k as i64 * 100_000;
+                session(&[
+                    (base, k % 5),
+                    (base + 100, (k + 1) % 5),
+                    (base + 900, (k + 2) % 5),
+                    (base + 2_000, k % 5),
+                ])
+            })
+            .collect();
+        let serial = extract_bigrams(&sessions, Some(1_000));
+        for threads in [2usize, 3, 8] {
+            let par = ParConfig::with_threads(threads).expect("nonzero");
+            let sharded = extract_bigrams_pool(&sessions, Some(1_000), &par);
+            assert_eq!(sharded, serial, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn merge_counts_saturates_instead_of_wrapping() {
+        let mut a = BigramCounts::default();
+        a.joint.insert((SourceId(1), SourceId(2)), u64::MAX - 1);
+        a.total = u64::MAX - 1;
+        let mut b = BigramCounts::default();
+        b.joint.insert((SourceId(1), SourceId(2)), 5);
+        b.total = 5;
+        let merged = merge_counts(a, b);
+        assert_eq!(merged.joint[&(SourceId(1), SourceId(2))], u64::MAX);
+        assert_eq!(merged.total, u64::MAX);
     }
 
     #[test]

@@ -18,7 +18,7 @@ mod bigrams;
 mod delays;
 mod direction;
 
-pub use algorithm::{run_l2, L2Config, L2Result, PairTypeOutcome};
-pub use bigrams::{extract_bigrams, BigramCounts};
+pub use algorithm::{run_l2, run_l2_pool, L2Config, L2Result, PairTypeOutcome};
+pub use bigrams::{extract_bigrams, extract_bigrams_pool, merge_counts, BigramCounts};
 pub use delays::{delay_profiles, DelayConfig, DelayProfile};
 pub use direction::{detect_directions, DirectionConfig, DirectionOutcome};

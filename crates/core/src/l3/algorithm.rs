@@ -2,7 +2,8 @@
 
 use crate::model::AppServiceModel;
 use logdep_logstore::time::TimeRange;
-use logdep_logstore::{LogStore, SourceId};
+use logdep_logstore::{LogRecord, LogStore, SourceId};
+use logdep_par::{par_chunks_fold, ParConfig};
 use logdep_textmatch::{MatchMode, MatcherBuilder, StopPatterns};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -60,13 +61,53 @@ pub struct L3Result {
     pub scanned_logs: usize,
 }
 
+/// Per-shard scan accumulator: citation counters plus the stop/scan
+/// tallies. Addition-only, so shards merge order-free.
+#[derive(Default)]
+struct ScanShard {
+    citations: HashMap<(SourceId, usize), u64>,
+    stopped: usize,
+    scanned: usize,
+}
+
+impl ScanShard {
+    fn merge(mut self, other: ScanShard) -> ScanShard {
+        for (key, count) in other.citations {
+            let slot = self.citations.entry(key).or_insert(0);
+            *slot = slot.saturating_add(count);
+        }
+        self.stopped = self.stopped.saturating_add(other.stopped);
+        self.scanned = self.scanned.saturating_add(other.scanned);
+        self
+    }
+}
+
 /// Runs technique L3 over the records in `range`, scanning for the
-/// given directory ids.
+/// given directory ids. Thread count comes from [`ParConfig::default`]
+/// (`LOGDEP_THREADS` or the hardware); results are bit-identical at
+/// every thread count.
 pub fn run_l3(
     store: &LogStore,
     range: TimeRange,
     service_ids: &[String],
     cfg: &L3Config,
+) -> crate::Result<L3Result> {
+    run_l3_pool(store, range, service_ids, cfg, &ParConfig::default())
+}
+
+/// [`run_l3`] with an explicit worker-pool configuration.
+///
+/// The Aho–Corasick automaton is built once and shared read-only; the
+/// log lines fan out in contiguous chunks, each worker counting
+/// citations into a private map, and the shard counters merge by
+/// saturating addition — every line is scanned independently, so the
+/// citation counts equal the serial scan at any thread count.
+pub fn run_l3_pool(
+    store: &LogStore,
+    range: TimeRange,
+    service_ids: &[String],
+    cfg: &L3Config,
+    par: &ParConfig,
 ) -> crate::Result<L3Result> {
     let mut builder = MatcherBuilder::new();
     builder.mode(if cfg.whole_word {
@@ -78,23 +119,27 @@ pub fn run_l3(
     let matcher = builder.build();
     let stops = StopPatterns::new(&cfg.stop_patterns);
 
-    let mut citations: HashMap<(SourceId, usize), u64> = HashMap::new();
-    let mut stopped = 0usize;
-    let mut scanned = 0usize;
-
-    for rec in store.range(range) {
-        if !stops.is_empty() && stops.matches(&rec.text) {
-            stopped += 1;
-            continue;
-        }
-        scanned += 1;
-        for svc in matcher.matched_ids(&rec.text) {
-            *citations.entry((rec.source, svc)).or_insert(0) += 1;
-        }
-    }
+    let records = store.range(range);
+    let scan = par_chunks_fold(
+        par,
+        records,
+        ScanShard::default,
+        |mut shard: ScanShard, rec: &LogRecord| {
+            if !stops.is_empty() && stops.matches(&rec.text) {
+                shard.stopped += 1;
+                return shard;
+            }
+            shard.scanned += 1;
+            for svc in matcher.matched_ids(&rec.text) {
+                *shard.citations.entry((rec.source, svc)).or_insert(0) += 1;
+            }
+            shard
+        },
+        ScanShard::merge,
+    );
 
     let mut detected = AppServiceModel::new();
-    for (&(app, svc), &count) in &citations {
+    for (&(app, svc), &count) in &scan.citations {
         if count >= cfg.min_citations {
             detected.insert(app, svc);
         }
@@ -102,9 +147,9 @@ pub fn run_l3(
 
     Ok(L3Result {
         detected,
-        citations,
-        stopped_logs: stopped,
-        scanned_logs: scanned,
+        citations: scan.citations,
+        stopped_logs: scan.stopped,
+        scanned_logs: scan.scanned,
     })
 }
 

@@ -12,5 +12,5 @@
 mod algorithm;
 mod incremental;
 
-pub use algorithm::{run_l3, L3Config, L3Result};
+pub use algorithm::{run_l3, run_l3_pool, L3Config, L3Result};
 pub use incremental::IncrementalL3;

@@ -78,6 +78,7 @@ pub use model::{diff_app_service, diff_pairs, AppServiceModel, Diff, PairModel};
 // Re-export the substrate crates under predictable names so downstream
 // users need only one dependency.
 pub use logdep_logstore as logstore;
+pub use logdep_par as par;
 pub use logdep_sessions as sessions;
 pub use logdep_stats as stats;
 pub use logdep_textmatch as textmatch;

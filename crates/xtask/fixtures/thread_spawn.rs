@@ -1,0 +1,31 @@
+//! Seeded `raw-thread-spawn` violations, plus sanctioned threading
+//! forms that must stay clean.
+
+use std::thread;
+
+pub fn bad_fully_qualified() {
+    let handle = std::thread::spawn(|| 1 + 1); // seeded hit 1
+    drop(handle);
+}
+
+pub fn bad_bare_path() {
+    let handle = thread::spawn(|| 2 + 2); // seeded hit 2
+    drop(handle);
+}
+
+pub fn fine_scoped_spawn() {
+    // Scoped spawns are `.`-qualified and join deterministically; the
+    // sanctioned entry point is logdep_par::scope.
+    std::thread::scope(|s| {
+        s.spawn(|| ());
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_is_exempt() {
+        let handle = std::thread::spawn(|| 3);
+        drop(handle);
+    }
+}

@@ -53,6 +53,22 @@ const LIB_CRATES: &[&str] = &[
     "sessions",
     "simulator",
     "faults",
+    "par",
+];
+
+/// Crates that must route all threading through `logdep-par`: every
+/// library crate except `par` itself (the one place allowed to touch
+/// `std::thread`), plus the cli and bench binaries.
+const POOLED_CRATES: &[&str] = &[
+    "core",
+    "stats",
+    "logstore",
+    "textmatch",
+    "sessions",
+    "simulator",
+    "faults",
+    "cli",
+    "bench",
 ];
 
 /// The full lint registry. Adding a rule means adding an entry here and
@@ -94,6 +110,12 @@ pub const RULES: &[RuleInfo] = &[
         severity: Severity::Deny,
         summary: "`let _ =` discarding a call's Result in library code; handle or match the error",
         scope: LIB_CRATES,
+    },
+    RuleInfo {
+        name: "raw-thread-spawn",
+        severity: Severity::Deny,
+        summary: "direct thread::spawn outside crates/par; use logdep_par::{scope, par_map, par_chunks_fold}",
+        scope: POOLED_CRATES,
     },
 ];
 
@@ -164,6 +186,7 @@ fn lint_tokens(rel: &str, crate_name: &str, lexed: &Lexed) -> Vec<Diagnostic> {
             "result-api" => result_api(tokens, &mask),
             "unchecked-indexing" => unchecked_indexing(tokens, &mask),
             "silent-drop" => silent_drop(tokens, &mask),
+            "raw-thread-spawn" => raw_thread_spawn(tokens, &mask),
             _ => Vec::new(),
         };
         for (line, message) in found {
@@ -624,6 +647,28 @@ fn silent_drop(tokens: &[Token], mask: &[bool]) -> Vec<(u32, String)> {
     out
 }
 
+fn raw_thread_spawn(tokens: &[Token], mask: &[bool]) -> Vec<(u32, String)> {
+    let mut out = Vec::new();
+    for i in 0..tokens.len() {
+        if mask[i] || !tokens[i].is_ident("thread") {
+            continue;
+        }
+        // `thread::spawn` / `std::thread::spawn` (`::` lexes as two
+        // `:` puncts). Scoped `s.spawn(..)` is `.`-qualified and never
+        // matches; `logdep_par::scope` is the sanctioned entry point.
+        let spawns = tokens.get(i + 1).is_some_and(|t| t.is_punct(':'))
+            && tokens.get(i + 2).is_some_and(|t| t.is_punct(':'))
+            && tokens.get(i + 3).is_some_and(|t| t.is_ident("spawn"));
+        if spawns {
+            out.push((
+                tokens[i].line,
+                "thread::spawn outside crates/par bypasses the deterministic pool; use logdep_par::{scope, par_map, par_chunks_fold}".to_string(),
+            ));
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -680,6 +725,53 @@ mod tests {
             .map(|d| d.line)
             .collect();
         assert_eq!(lines, vec![5], "only the unsuppressed unwrap remains");
+    }
+
+    #[test]
+    fn raw_thread_spawn_denied_outside_par() {
+        let src = r#"
+            pub fn bad() {
+                std::thread::spawn(|| {});
+                thread::spawn(work);
+            }
+        "#;
+        let diags = lint_as("crates/core/src/x.rs", src);
+        let hits: Vec<u32> = diags
+            .iter()
+            .filter(|d| d.rule == "raw-thread-spawn")
+            .map(|d| d.line)
+            .collect();
+        assert_eq!(hits, vec![3, 4]);
+        assert_eq!(
+            rule("raw-thread-spawn").map(|r| r.severity),
+            Some(Severity::Deny)
+        );
+    }
+
+    #[test]
+    fn raw_thread_spawn_exempts_par_scoped_spawn_and_tests() {
+        // The par crate itself is out of scope.
+        let src = "pub fn pool() { std::thread::spawn(|| {}); }";
+        assert!(lint_as("crates/par/src/lib.rs", src).is_empty());
+        // Scoped spawns and the sanctioned wrapper never match.
+        let src = r#"
+            pub fn fine() {
+                logdep_par::scope(|s| { s.spawn(|| {}); });
+                std::thread::scope(|s| { s.spawn(|| {}); });
+            }
+        "#;
+        assert!(lint_as("crates/core/src/x.rs", src)
+            .iter()
+            .all(|d| d.rule != "raw-thread-spawn"));
+        // Test code is exempt, as everywhere else.
+        let src = r#"
+            #[cfg(test)]
+            mod tests {
+                #[test]
+                fn t() { std::thread::spawn(|| {}); }
+            }
+        "#;
+        assert!(lint_as("crates/core/src/x.rs", src).is_empty());
     }
 
     #[test]

@@ -307,6 +307,25 @@ mod fixture_tests {
     }
 
     #[test]
+    fn catches_raw_thread_spawns_outside_par() {
+        let diags = lint_source("crates/core/src/fixture.rs", &fixture("thread_spawn.rs"));
+        let spawns: Vec<_> = diags
+            .iter()
+            .filter(|d| d.rule == "raw-thread-spawn")
+            .collect();
+        // Seeded: std::thread::spawn and bare thread::spawn, one each;
+        // the scoped spawn and the test-module spawn must stay clean.
+        assert_eq!(spawns.len(), 2, "diags: {diags:?}");
+        assert!(spawns.iter().all(|d| d.message.contains("logdep_par")));
+        // The par crate itself is the one place raw spawns are legal.
+        let diags = lint_source("crates/par/src/fixture.rs", &fixture("thread_spawn.rs"));
+        assert!(
+            diags.iter().all(|d| d.rule != "raw-thread-spawn"),
+            "diags: {diags:?}"
+        );
+    }
+
+    #[test]
     fn suppressions_silence_seeded_violations() {
         let diags = lint_source("crates/stats/src/fixture.rs", &fixture("suppressed.rs"));
         assert!(
