@@ -1,16 +1,19 @@
 //! The CLI subcommands.
 
 use crate::args::Args;
+use logdep::cache::EvidenceCache;
 use logdep::evolution::app_service_churn;
 use logdep::graph::DependencyGraph;
+use logdep::health::PipelineConfig;
 use logdep::l1::{run_l1_pool, L1Config};
 use logdep::l2::{run_l2_pool, L2Config};
 use logdep::l3::{run_l3, run_l3_pool, L3Config};
+use logdep::window::run_window_cached;
 use logdep::AppServiceModel;
 use logdep_faults::{inject as inject_faults, FaultConfig};
 use logdep_logstore::codec::write_store;
 use logdep_logstore::ingest::{read_store_resilient, IngestPolicy};
-use logdep_logstore::time::TimeRange;
+use logdep_logstore::time::{TimeRange, MS_PER_DAY};
 use logdep_logstore::{LogStore, Millis};
 use logdep_par::ParConfig;
 use logdep_sessions::{reconstruct, SessionConfig};
@@ -30,6 +33,9 @@ commands:
   l1        --logs LOGS.tsv [--minlogs N --days N --threads N]
   l2        --logs LOGS.tsv [--timeout MS --days N --threads N]
   l3        --logs LOGS.tsv --directory DIR.xml [--stop-patterns FILE --days N
+            --threads N]
+  daily     --logs LOGS.tsv [--directory DIR.xml --window-days N --start-day N
+            --advance-days N --steps N --cache CACHE.json --minlogs N
             --threads N]
   sessions  --logs LOGS.tsv
   templates --logs LOGS.tsv --source APP [--support N]
@@ -222,6 +228,78 @@ pub fn l3(args: &Args, out: &mut dyn Write) -> CmdResult {
     )?;
     for (app, svc) in res.detected.iter() {
         writeln!(out, "  {} -> {}", store.registry.source_name(app), ids[svc])?;
+    }
+    Ok(())
+}
+
+/// `logdep daily` — the "around the clock" operation of §1.2: mine a
+/// sliding window, advance it, and let the persistent evidence cache
+/// skip everything the slide left unchanged. With `--cache FILE` the
+/// cache survives process restarts (the nightly-cron deployment);
+/// without it the advance steps still share the in-memory cache.
+pub fn daily(args: &Args, out: &mut dyn Write) -> CmdResult {
+    let store = load_logs(args.required("logs")?)?;
+    let window_days: i64 = args.parsed_or("window-days", 7)?;
+    let start_day: i64 = args.parsed_or("start-day", 0)?;
+    let advance_days: i64 = args.parsed_or("advance-days", 1)?;
+    let steps: i64 = args.parsed_or("steps", 1)?;
+    if window_days <= 0 || advance_days <= 0 || steps <= 0 {
+        return Err("--window-days, --advance-days and --steps must be positive".into());
+    }
+
+    let ids = match args.optional("directory") {
+        Some(path) => load_directory(path)?,
+        None => Vec::new(),
+    };
+    let cfg = PipelineConfig {
+        l1: Some(L1Config {
+            minlogs: args.parsed_or("minlogs", 25)?,
+            seed: args.parsed_or("seed", 7)?,
+            ..L1Config::default()
+        }),
+        l2: Some(L2Config::default()),
+        l3: if ids.is_empty() {
+            None
+        } else {
+            Some(l3_config(args)?)
+        },
+        par: par_config(args)?,
+    };
+
+    let cache_path = args.optional("cache").map(str::to_owned);
+    let mut cache = match &cache_path {
+        Some(path) if std::path::Path::new(path).exists() => {
+            let text = std::fs::read_to_string(path).map_err(|e| format!("open {path:?}: {e}"))?;
+            let loaded =
+                EvidenceCache::from_json(&text).map_err(|e| format!("cache {path}: {e}"))?;
+            writeln!(out, "loaded cache {path} ({} entries)", loaded.len())?;
+            loaded
+        }
+        _ => EvidenceCache::new(),
+    };
+
+    for step in 0..steps {
+        let start = Millis::from_days(start_day + step * advance_days);
+        let window = TimeRange::new(start, Millis(start.0 + window_days * MS_PER_DAY));
+        let outcome = run_window_cached(&store, window, &ids, &cfg, &mut cache)?;
+        let stats = outcome.stats;
+        writeln!(
+            out,
+            "window days {}..{}: L1 {} pairs, L2 {} pairs, L3 {} deps \
+             (cache: {} hits, {} misses)",
+            start_day + step * advance_days,
+            start_day + step * advance_days + window_days,
+            outcome.l1.as_ref().map_or(0, |r| r.detected.len()),
+            outcome.l2.as_ref().map_or(0, |r| r.detected.len()),
+            outcome.l3.as_ref().map_or(0, |r| r.detected.len()),
+            stats.hits(),
+            stats.misses()
+        )?;
+    }
+
+    if let Some(path) = &cache_path {
+        std::fs::write(path, cache.to_json()?).map_err(|e| format!("write {path:?}: {e}"))?;
+        writeln!(out, "saved cache {path} ({} entries)", cache.len())?;
     }
     Ok(())
 }

@@ -11,6 +11,7 @@
 //! logdep l3 --logs logs.tsv --directory dir.xml [--stop-patterns p.txt]
 //! logdep l2 --logs logs.tsv [--timeout 1000]
 //! logdep l1 --logs logs.tsv [--minlogs 25]
+//! logdep daily --logs logs.tsv --cache cache.json [--window-days 7 --steps 2]
 //! logdep sessions --logs logs.tsv
 //! logdep templates --logs logs.tsv --source AppName
 //! logdep churn --before a.tsv --after b.tsv --directory dir.xml
@@ -39,6 +40,7 @@ pub fn run(argv: &[String], out: &mut dyn Write) -> i32 {
         "l1" => commands::l1(&args, out),
         "l2" => commands::l2(&args, out),
         "l3" => commands::l3(&args, out),
+        "daily" => commands::daily(&args, out),
         "sessions" => commands::sessions(&args, out),
         "templates" => commands::templates(&args, out),
         "churn" => commands::churn(&args, out),

@@ -379,3 +379,69 @@ fn comma_separated_logs_are_consolidated() {
     assert_eq!(code, 0, "{out}");
     assert!(out.contains("L3:"));
 }
+
+#[test]
+fn daily_window_advances_with_a_persistent_cache() {
+    let dir = TempDir::new("daily");
+    let logs = dir.path("logs.tsv");
+    let directory = dir.path("dir.xml");
+    let (code, out) = run(&[
+        "simulate",
+        "--out",
+        &logs,
+        "--directory",
+        &directory,
+        "--days",
+        "2",
+        "--seed",
+        "5",
+        "--scale",
+        "0.15",
+    ]);
+    assert_eq!(code, 0, "simulate failed: {out}");
+
+    // Cold run: nothing can hit, and the cache file is written.
+    let cache = dir.path("cache.json");
+    let daily = |extra: &[&str]| {
+        let mut args = vec![
+            "daily",
+            "--logs",
+            &logs,
+            "--directory",
+            &directory,
+            "--window-days",
+            "2",
+            "--cache",
+            &cache,
+        ];
+        args.extend_from_slice(extra);
+        run(&args)
+    };
+    let (code, cold) = daily(&[]);
+    assert_eq!(code, 0, "{cold}");
+    assert!(cold.contains("cache: 0 hits"), "{cold}");
+    assert!(cold.contains("saved cache"), "{cold}");
+
+    // Warm run in a fresh "process": everything hits from the file.
+    let (code, warm) = daily(&[]);
+    assert_eq!(code, 0, "{warm}");
+    assert!(warm.contains("loaded cache"), "{warm}");
+    assert!(warm.contains("0 misses"), "{warm}");
+
+    // The mined model sizes must match between cold and warm.
+    let summary = |s: &str| {
+        s.lines()
+            .find(|l| l.contains("window days"))
+            .expect("summary line")
+            .to_owned()
+    };
+    let cold_line = summary(&cold);
+    let warm_line = summary(&warm);
+    let models = |l: &str| l.split("(cache:").next().expect("prefix").to_owned();
+    assert_eq!(models(&cold_line), models(&warm_line));
+
+    // Invalid geometry is rejected cleanly.
+    let (code, out) = daily(&["--steps", "0"]);
+    assert_eq!(code, 1);
+    assert!(out.contains("positive"), "{out}");
+}

@@ -1,0 +1,537 @@
+//! Content-addressed evidence cache for the moving-landscape pipeline.
+//!
+//! §1.2 of the paper: HUG's landscape *moves*, so the miners run "around
+//! the clock" over a sliding window (e.g. the trailing week). Advancing
+//! a 7-day window by one day re-reads 6 days of logs whose evidence
+//! cannot have changed — this module memoizes that evidence so only the
+//! new day is recomputed.
+//!
+//! Every entry is **content-addressed** by an [`EvidenceKey`]:
+//!
+//! * a *fingerprint* of the full configuration (and, for L1, the
+//!   candidate source list; for L3, the directory ids) — any parameter
+//!   change silently misses instead of replaying stale evidence;
+//! * the absolute `[start, end)` range the evidence covers;
+//! * a *digest* of exactly the log content the computation may consult
+//!   (see [`Timeline::digest_neighborhood`]) — late-arriving or edited
+//!   records change the digest and invalidate the entry.
+//!
+//! Hits therefore never require trusting the caller: equal key ⇒ equal
+//! inputs ⇒ (the computations being pure) byte-identical evidence. The
+//! per-layer payloads are the *pre-threshold* accumulators — L1 slot
+//! evidence triples, L2 [`BigramCounts`], L3 day citation counts — so
+//! the final thresholding always runs fresh over the merged window and
+//! matches the batch runners bit for bit.
+//!
+//! [`Timeline::digest_neighborhood`]: logdep_logstore::Timeline::digest_neighborhood
+
+use crate::l1::{
+    combine_evidence, slot_evidence, slot_token, L1Config, L1Result, ReferenceProcess,
+    LOAD_JITTER_MS,
+};
+use crate::l2::{BigramCounts, L2Config};
+use crate::l3::L3Config;
+use logdep_logstore::time::TimeRange;
+use logdep_logstore::{LogStore, SourceId};
+use logdep_par::{par_map, ParConfig};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// FNV-1a accumulator shared by the fingerprint and digest helpers.
+pub(crate) struct Fnv(u64);
+
+impl Fnv {
+    pub(crate) fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    /// Folds bytes eight at a time (xor-multiply per `u64` word, FNV-1a
+    /// on the tail) — the digests here cover megabytes of log text per
+    /// window, and a byte-serial fold would dominate the warm path.
+    pub(crate) fn push_bytes(&mut self, bytes: &[u8]) {
+        let mut words = bytes.chunks_exact(8);
+        for w in &mut words {
+            let v = u64::from_le_bytes(w.try_into().unwrap_or([0; 8]));
+            self.0 = (self.0 ^ v).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        for &b in words.remainder() {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    pub(crate) fn push_u64(&mut self, v: u64) {
+        self.push_bytes(&v.to_le_bytes());
+    }
+
+    pub(crate) fn push_i64(&mut self, v: i64) {
+        self.push_bytes(&v.to_le_bytes());
+    }
+
+    pub(crate) fn push_str(&mut self, s: &str) {
+        // Length prefix keeps adjacent strings from aliasing.
+        self.push_u64(s.len() as u64);
+        self.push_bytes(s.as_bytes());
+    }
+
+    pub(crate) fn finish(self) -> u64 {
+        self.0
+    }
+}
+
+/// Content address of one cached evidence entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct EvidenceKey {
+    /// Fingerprint of the configuration (and candidate lists).
+    pub fingerprint: u64,
+    /// Start of the covered range (ms).
+    pub start: i64,
+    /// End of the covered range (ms, exclusive).
+    pub end: i64,
+    /// Digest of the log content the evidence may consult.
+    pub digest: u64,
+}
+
+impl EvidenceKey {
+    fn overlaps(&self, range: TimeRange) -> bool {
+        self.start < range.end.0 && self.end > range.start.0
+    }
+}
+
+/// Cached per-day L3 scan: citation counts plus the stop/scan tallies.
+/// Counts are monotone and additive, so day chunks merge exactly.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct L3DayCounts {
+    /// Citation counts per `(app, service index)` in key order.
+    pub citations: BTreeMap<(SourceId, usize), u64>,
+    /// Records scanned (after stop filtering).
+    pub scanned: u64,
+    /// Records skipped by a stop pattern.
+    pub stopped: u64,
+}
+
+/// Hit/miss counters per cached layer. Deltas (see [`CacheStats::since`])
+/// tell a windowed run how much work the cache actually saved.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// L1 slot-evidence hits.
+    pub l1_hits: u64,
+    /// L1 slot-evidence misses (computed and inserted).
+    pub l1_misses: u64,
+    /// L2 session-day bigram hits.
+    pub l2_hits: u64,
+    /// L2 session-day bigram misses.
+    pub l2_misses: u64,
+    /// L3 day-scan hits.
+    pub l3_hits: u64,
+    /// L3 day-scan misses.
+    pub l3_misses: u64,
+}
+
+impl CacheStats {
+    /// Total hits across layers.
+    pub fn hits(&self) -> u64 {
+        self.l1_hits + self.l2_hits + self.l3_hits
+    }
+
+    /// Total misses across layers.
+    pub fn misses(&self) -> u64 {
+        self.l1_misses + self.l2_misses + self.l3_misses
+    }
+
+    /// Counter delta since an earlier snapshot.
+    pub fn since(&self, earlier: &CacheStats) -> CacheStats {
+        CacheStats {
+            l1_hits: self.l1_hits.saturating_sub(earlier.l1_hits),
+            l1_misses: self.l1_misses.saturating_sub(earlier.l1_misses),
+            l2_hits: self.l2_hits.saturating_sub(earlier.l2_hits),
+            l2_misses: self.l2_misses.saturating_sub(earlier.l2_misses),
+            l3_hits: self.l3_hits.saturating_sub(earlier.l3_hits),
+            l3_misses: self.l3_misses.saturating_sub(earlier.l3_misses),
+        }
+    }
+}
+
+/// The persistent evidence store: three content-addressed maps (one per
+/// technique) plus session-local hit/miss counters. `BTreeMap` keeps the
+/// serialized snapshot deterministic, so equal caches are byte-equal on
+/// disk.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EvidenceCache {
+    version: u32,
+    pub(crate) l1: BTreeMap<EvidenceKey, Vec<(u32, u32, bool)>>,
+    pub(crate) l2: BTreeMap<EvidenceKey, BigramCounts>,
+    pub(crate) l3: BTreeMap<EvidenceKey, L3DayCounts>,
+    #[serde(skip)]
+    pub(crate) stats: CacheStats,
+}
+
+impl Default for EvidenceCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl EvidenceCache {
+    /// Snapshot-format version; bump on layout changes.
+    pub const VERSION: u32 = 1;
+
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self {
+            version: Self::VERSION,
+            l1: BTreeMap::new(),
+            l2: BTreeMap::new(),
+            l3: BTreeMap::new(),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Total number of cached entries across layers.
+    pub fn len(&self) -> usize {
+        self.l1.len() + self.l2.len() + self.l3.len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Hit/miss counters accumulated since construction (or the last
+    /// [`reset_stats`](Self::reset_stats)). Not persisted.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Zeroes the hit/miss counters.
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    /// Drops every entry whose range lies fully outside `window` —
+    /// the retention policy of a sliding window. Returns the number of
+    /// entries evicted.
+    pub fn evict_outside(&mut self, window: TimeRange) -> usize {
+        let before = self.len();
+        self.l1.retain(|k, _| k.overlaps(window));
+        self.l2.retain(|k, _| k.overlaps(window));
+        self.l3.retain(|k, _| k.overlaps(window));
+        before - self.len()
+    }
+
+    /// Drops every entry whose range overlaps `range` — a manual
+    /// invalidation hook (and the test lever proving that re-derived
+    /// evidence equals the cached evidence). Returns the number of
+    /// entries dropped.
+    pub fn invalidate_overlapping(&mut self, range: TimeRange) -> usize {
+        let before = self.len();
+        self.l1.retain(|k, _| !k.overlaps(range));
+        self.l2.retain(|k, _| !k.overlaps(range));
+        self.l3.retain(|k, _| !k.overlaps(range));
+        before - self.len()
+    }
+
+    /// Serializes the cache to a JSON snapshot (stats excluded).
+    pub fn to_json(&self) -> Result<String, String> {
+        serde_json::to_string(self).map_err(|e| e.to_string())
+    }
+
+    /// Restores a cache from a JSON snapshot. A snapshot written by an
+    /// incompatible [`VERSION`](Self::VERSION) deserializes to an empty
+    /// cache — stale evidence is never replayed across format changes.
+    pub fn from_json(s: &str) -> Result<Self, String> {
+        let cache: Self = serde_json::from_str(s).map_err(|e| e.to_string())?;
+        if cache.version != Self::VERSION {
+            return Ok(Self::new());
+        }
+        Ok(cache)
+    }
+}
+
+/// Fingerprint of an L1 configuration + candidate source list. Folds the
+/// `Debug` rendering of the config — every field participates, and new
+/// fields can never be forgotten here.
+pub(crate) fn l1_fingerprint(cfg: &L1Config, sources: &[SourceId]) -> u64 {
+    let mut f = Fnv::new();
+    f.push_str("l1");
+    f.push_str(&format!("{cfg:?}"));
+    for s in sources {
+        f.push_u64(u64::from(s.0));
+    }
+    f.finish()
+}
+
+/// Digest of everything [`slot_evidence`] may consult for one slot:
+/// each candidate timeline's slot neighborhood, widened by the jitter
+/// margin when the load-proportional reference also draws (jittered)
+/// picks from the overall log process — in that mode every active
+/// source's neighborhood participates, because the pick pool spans all
+/// sources.
+pub(crate) fn l1_slot_digest(
+    store: &LogStore,
+    slot: TimeRange,
+    sources: &[SourceId],
+    cfg: &L1Config,
+) -> u64 {
+    let margin = match cfg.reference {
+        ReferenceProcess::Homogeneous => 0,
+        ReferenceProcess::LoadProportional => LOAD_JITTER_MS,
+    };
+    let mut f = Fnv::new();
+    for &s in sources {
+        f.push_u64(u64::from(s.0));
+        f.push_u64(store.timeline(s).digest_neighborhood(slot, margin));
+    }
+    if matches!(cfg.reference, ReferenceProcess::LoadProportional) {
+        for s in store.active_sources() {
+            f.push_u64(u64::from(s.0));
+            f.push_u64(store.timeline(s).digest_neighborhood(slot, margin));
+        }
+    }
+    f.finish()
+}
+
+/// [`run_l1_slots_cached`] over the slot grid of `range` — the cached
+/// twin of [`crate::l1::run_l1_pool`], byte-identical to it at every
+/// thread count and cache state.
+pub fn run_l1_cached(
+    store: &LogStore,
+    range: TimeRange,
+    sources: &[SourceId],
+    cfg: &L1Config,
+    par: &ParConfig,
+    cache: &mut EvidenceCache,
+) -> crate::Result<L1Result> {
+    cfg.validate()?;
+    let slots = range.split(cfg.slot_ms);
+    run_l1_slots_cached(store, &slots, sources, cfg, par, cache)
+}
+
+/// Technique L1 over an explicit slot list with slot-evidence
+/// memoization: every slot is first probed in the cache by its content
+/// address; only the misses fan out on the pool (through the very same
+/// [`slot_evidence`] the batch runner uses), and their evidence is
+/// inserted for the next run. The combined result is byte-identical to
+/// [`crate::l1::run_l1_slots_pool`] regardless of which entries hit.
+pub fn run_l1_slots_cached(
+    store: &LogStore,
+    slots: &[TimeRange],
+    sources: &[SourceId],
+    cfg: &L1Config,
+    par: &ParConfig,
+    cache: &mut EvidenceCache,
+) -> crate::Result<L1Result> {
+    cfg.validate()?;
+    let fp = l1_fingerprint(cfg, sources);
+
+    let mut per_slot: Vec<Option<Vec<(usize, usize, bool)>>> = Vec::with_capacity(slots.len());
+    let mut misses: Vec<(usize, EvidenceKey, u64, TimeRange)> = Vec::new();
+    for (idx, &slot) in slots.iter().enumerate() {
+        let key = EvidenceKey {
+            fingerprint: fp,
+            start: slot.start.0,
+            end: slot.end.0,
+            digest: l1_slot_digest(store, slot, sources, cfg),
+        };
+        match cache.l1.get(&key) {
+            Some(stored) => {
+                cache.stats.l1_hits += 1;
+                per_slot.push(Some(decode_evidence(stored)));
+            }
+            None => {
+                cache.stats.l1_misses += 1;
+                per_slot.push(None);
+                misses.push((idx, key, slot_token(slot, cfg.slot_ms), slot));
+            }
+        }
+    }
+
+    let computed: Vec<Vec<(usize, usize, bool)>> = par_map(par, &misses, |&(_, _, token, slot)| {
+        slot_evidence(store, token, slot, sources, cfg)
+    });
+    for ((idx, key, _, _), evidence) in misses.into_iter().zip(computed) {
+        cache.l1.insert(key, encode_evidence(&evidence));
+        per_slot[idx] = Some(evidence);
+    }
+
+    let per_slot: Vec<Vec<(usize, usize, bool)>> = per_slot
+        .into_iter()
+        .map(Option::unwrap_or_default)
+        .collect();
+    Ok(combine_evidence(&per_slot, sources, cfg, slots.len()))
+}
+
+/// Compact storage form of slot evidence (pair positions fit u32).
+fn encode_evidence(evidence: &[(usize, usize, bool)]) -> Vec<(u32, u32, bool)> {
+    evidence
+        .iter()
+        .map(|&(i, j, pos)| {
+            (
+                u32::try_from(i).unwrap_or(u32::MAX),
+                u32::try_from(j).unwrap_or(u32::MAX),
+                pos,
+            )
+        })
+        .collect()
+}
+
+fn decode_evidence(stored: &[(u32, u32, bool)]) -> Vec<(usize, usize, bool)> {
+    stored
+        .iter()
+        .map(|&(i, j, pos)| (i as usize, j as usize, pos))
+        .collect()
+}
+
+/// Fingerprint of an L2 configuration.
+pub(crate) fn l2_fingerprint(cfg: &L2Config) -> u64 {
+    let mut f = Fnv::new();
+    f.push_str("l2");
+    f.push_str(&format!("{cfg:?}"));
+    f.finish()
+}
+
+/// Fingerprint of an L3 configuration + directory id list.
+pub(crate) fn l3_fingerprint(cfg: &L3Config, service_ids: &[String]) -> u64 {
+    let mut f = Fnv::new();
+    f.push_str("l3");
+    f.push_str(&format!("{cfg:?}"));
+    for id in service_ids {
+        f.push_str(id);
+    }
+    f.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use logdep_logstore::time::MS_PER_HOUR;
+    use logdep_logstore::{LogRecord, Millis};
+
+    fn coupled_store(hours: i64) -> (LogStore, Vec<SourceId>) {
+        let mut store = LogStore::new();
+        let s0 = store.registry.source("App0");
+        let s1 = store.registry.source("App1");
+        for h in 0..hours {
+            let base = h * MS_PER_HOUR;
+            for i in 0..120 {
+                let t = base + i * 23_000 % MS_PER_HOUR;
+                store.push(LogRecord::minimal(s0, Millis(t)));
+                store.push(LogRecord::minimal(s1, Millis(t + 40)));
+            }
+        }
+        store.finalize();
+        (store, vec![s0, s1])
+    }
+
+    fn cfg() -> L1Config {
+        L1Config {
+            minlogs: 40,
+            seed: 5,
+            ..L1Config::default()
+        }
+    }
+
+    #[test]
+    fn cached_l1_matches_batch_cold_and_warm() {
+        let (store, sources) = coupled_store(4);
+        let range = TimeRange::new(Millis(0), Millis(4 * MS_PER_HOUR));
+        let batch = crate::l1::run_l1(&store, range, &sources, &cfg()).unwrap();
+
+        let mut cache = EvidenceCache::new();
+        let par = ParConfig::serial();
+        let cold = run_l1_cached(&store, range, &sources, &cfg(), &par, &mut cache).unwrap();
+        assert_eq!(cold, batch);
+        assert_eq!(cache.stats().l1_misses, 4);
+        assert_eq!(cache.stats().l1_hits, 0);
+
+        let warm = run_l1_cached(&store, range, &sources, &cfg(), &par, &mut cache).unwrap();
+        assert_eq!(warm, batch);
+        assert_eq!(cache.stats().l1_hits, 4);
+    }
+
+    #[test]
+    fn config_change_misses_instead_of_replaying() {
+        let (store, sources) = coupled_store(2);
+        let range = TimeRange::new(Millis(0), Millis(2 * MS_PER_HOUR));
+        let mut cache = EvidenceCache::new();
+        let par = ParConfig::serial();
+        run_l1_cached(&store, range, &sources, &cfg(), &par, &mut cache).unwrap();
+        let other = L1Config { seed: 99, ..cfg() };
+        run_l1_cached(&store, range, &sources, &other, &par, &mut cache).unwrap();
+        assert_eq!(cache.stats().l1_hits, 0);
+        assert_eq!(cache.stats().l1_misses, 4);
+    }
+
+    #[test]
+    fn new_records_in_a_slot_invalidate_only_that_slot() {
+        let (mut store, sources) = coupled_store(3);
+        store.finalize();
+        let range = TimeRange::new(Millis(0), Millis(3 * MS_PER_HOUR));
+        let mut cache = EvidenceCache::new();
+        let par = ParConfig::serial();
+        run_l1_cached(&store, range, &sources, &cfg(), &par, &mut cache).unwrap();
+
+        // Append a record deep inside slot 1 (away from slot edges).
+        store.push(LogRecord::minimal(
+            sources[0],
+            Millis(MS_PER_HOUR + MS_PER_HOUR / 2),
+        ));
+        store.finalize();
+        run_l1_cached(&store, range, &sources, &cfg(), &par, &mut cache).unwrap();
+        let stats = cache.stats();
+        assert_eq!(stats.l1_hits, 2, "untouched slots must hit");
+        assert_eq!(stats.l1_misses, 4, "3 cold + 1 invalidated");
+    }
+
+    #[test]
+    fn json_round_trip_preserves_entries() {
+        let (store, sources) = coupled_store(2);
+        let range = TimeRange::new(Millis(0), Millis(2 * MS_PER_HOUR));
+        let mut cache = EvidenceCache::new();
+        let par = ParConfig::serial();
+        let first = run_l1_cached(&store, range, &sources, &cfg(), &par, &mut cache).unwrap();
+
+        let snapshot = cache.to_json().expect("serialize");
+        let mut restored = EvidenceCache::from_json(&snapshot).expect("parse");
+        assert_eq!(restored.len(), cache.len());
+        let warm = run_l1_cached(&store, range, &sources, &cfg(), &par, &mut restored).unwrap();
+        assert_eq!(warm, first);
+        assert_eq!(restored.stats().l1_hits, 2);
+        assert_eq!(restored.stats().l1_misses, 0);
+    }
+
+    #[test]
+    fn eviction_and_invalidation_are_range_scoped() {
+        let (store, sources) = coupled_store(4);
+        let range = TimeRange::new(Millis(0), Millis(4 * MS_PER_HOUR));
+        let mut cache = EvidenceCache::new();
+        let par = ParConfig::serial();
+        run_l1_cached(&store, range, &sources, &cfg(), &par, &mut cache).unwrap();
+        assert_eq!(cache.len(), 4);
+
+        let dropped = cache.invalidate_overlapping(TimeRange::new(Millis(0), Millis(MS_PER_HOUR)));
+        assert_eq!(dropped, 1);
+        let evicted =
+            cache.evict_outside(TimeRange::new(Millis(MS_PER_HOUR), Millis(3 * MS_PER_HOUR)));
+        assert_eq!(evicted, 1, "slot 3 lies outside the retained window");
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn version_mismatch_yields_a_fresh_cache() {
+        let mut cache = EvidenceCache::new();
+        cache.l1.insert(
+            EvidenceKey {
+                fingerprint: 1,
+                start: 0,
+                end: 1,
+                digest: 2,
+            },
+            Vec::new(),
+        );
+        cache.version = EvidenceCache::VERSION + 1;
+        let snapshot = cache.to_json().expect("serialize");
+        let restored = EvidenceCache::from_json(&snapshot).expect("parse");
+        assert!(restored.is_empty());
+    }
+}

@@ -85,10 +85,12 @@ pub fn run_l1_slots(
 /// [`run_l1_slots`] with an explicit worker-pool configuration.
 ///
 /// Slots are independent by construction (every RNG stream is seeded
-/// from `(seed, slot, source)` alone), so the (pair × slot) distance
-/// tests fan out per slot on the pool and the per-slot evidence is
-/// merged by counting in canonical slot-then-pair order — the exact
-/// accumulation the serial loop performs.
+/// from `(seed, slot token, source)` alone, where the token depends on
+/// the slot's *absolute position*, not its enumeration index — see
+/// [`slot_token`]), so the (pair × slot) distance tests fan out per
+/// slot on the pool and the per-slot evidence is merged by counting in
+/// canonical slot-then-pair order — the exact accumulation the serial
+/// loop performs.
 pub fn run_l1_slots_pool(
     store: &LogStore,
     slots: &[TimeRange],
@@ -97,21 +99,33 @@ pub fn run_l1_slots_pool(
     par: &ParConfig,
 ) -> crate::Result<L1Result> {
     cfg.validate()?;
-    let n_slots = slots.len();
 
     // Fan out: one independent evidence computation per slot.
-    let indexed: Vec<(usize, TimeRange)> = slots.iter().copied().enumerate().collect();
-    let per_slot: Vec<Vec<(usize, usize, bool)>> = par_map(par, &indexed, |&(slot_idx, slot)| {
-        slot_evidence(store, slot_idx, slot, sources, cfg)
+    let tokened: Vec<(u64, TimeRange)> = slots
+        .iter()
+        .map(|&slot| (slot_token(slot, cfg.slot_ms), slot))
+        .collect();
+    let per_slot: Vec<Vec<(usize, usize, bool)>> = par_map(par, &tokened, |&(token, slot)| {
+        slot_evidence(store, token, slot, sources, cfg)
     });
 
-    // Deterministic merge: pair accumulators indexed by (i, j) position
-    // in `sources`, summed in slot order (addition is order-free, so
-    // this equals the serial accumulation bit for bit).
+    Ok(combine_evidence(&per_slot, sources, cfg, slots.len()))
+}
+
+/// Merges per-slot evidence into the final [`L1Result`]: pair
+/// accumulators indexed by (i, j) position in `sources`, summed in slot
+/// order (addition is order-free, so this equals the serial
+/// accumulation bit for bit), then thresholded per §3.1.
+pub(crate) fn combine_evidence(
+    per_slot: &[Vec<(usize, usize, bool)>],
+    sources: &[SourceId],
+    cfg: &L1Config,
+    n_slots: usize,
+) -> L1Result {
     let k = sources.len();
     let mut support = vec![0u32; k * k];
     let mut positives = vec![0u32; k * k];
-    for evidence in &per_slot {
+    for evidence in per_slot {
         for &(i, j, positive) in evidence {
             support[i * k + j] += 1;
             if positive {
@@ -120,7 +134,6 @@ pub fn run_l1_slots_pool(
         }
     }
 
-    // Combine.
     let mut detected = PairModel::new();
     let mut outcomes = Vec::new();
     let min_support = (cfg.th_s * n_slots as f64).ceil().max(1.0) as u32;
@@ -147,20 +160,52 @@ pub fn run_l1_slots_pool(
         }
     }
 
-    Ok(L1Result {
+    L1Result {
         detected,
         outcomes,
         n_slots,
-    })
+    }
+}
+
+/// Maximum absolute jitter (ms) applied to load-proportional reference
+/// picks — the evidence of a slot can therefore consult timestamps up
+/// to this far outside it (plus one neighbor on each side), which is
+/// exactly the neighborhood the cache digests.
+pub(crate) const LOAD_JITTER_MS: i64 = 2_000;
+
+/// RNG-stream token of a slot, *translation-invariant*: a slot keeps
+/// its token (hence its streams, hence its evidence) when the analysis
+/// window slides — the property the slot-evidence cache rests on. A
+/// slot aligned to the configured width gets its absolute index on the
+/// global slot grid; for ranges starting at 0 this equals the old
+/// enumeration index, preserving historical outputs bit for bit.
+/// Unaligned slots (the adaptive variant) get a mixed start token with
+/// the top bit set, keeping the two families disjoint.
+pub(crate) fn slot_token(slot: TimeRange, slot_ms: i64) -> u64 {
+    if slot_ms > 0 && slot.start.0.rem_euclid(slot_ms) == 0 {
+        slot.start.0.div_euclid(slot_ms) as u64
+    } else {
+        mix64(slot.start.0 as u64) | (1 << 63)
+    }
+}
+
+/// SplitMix64 finalizer: spreads unaligned slot starts over the token
+/// space so nearby starts get unrelated RNG streams.
+fn mix64(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
 }
 
 /// Evidence of one slot: `(i, j, positive)` per pair (positions in
 /// `sources`, `i < j`) where both sides cleared `minlogs`. Pure in
-/// `(slot_idx, slot)` — every RNG stream is seeded per (seed, slot,
-/// source) — so slots can be evaluated in any order or concurrently.
-fn slot_evidence(
+/// `(token, slot)` — every RNG stream is seeded per (seed, slot token,
+/// source) — so slots can be evaluated in any order or concurrently,
+/// and identical `(token, slot, timelines)` inputs always reproduce
+/// identical evidence (the cache-correctness invariant).
+pub(crate) fn slot_evidence(
     store: &LogStore,
-    slot_idx: usize,
+    token: u64,
     slot: TimeRange,
     sources: &[SourceId],
     cfg: &L1Config,
@@ -175,12 +220,11 @@ fn slot_evidence(
     }
 
     // Random-side samples per active source (role A), shared across
-    // partners. Seeded per (seed, slot, source) for reproducibility
-    // independent of iteration order.
+    // partners. Seeded per (seed, slot token, source) for
+    // reproducibility independent of iteration order.
     let mut random_sides: Vec<Option<DistanceSamples>> = Vec::with_capacity(active.len());
     for &i in &active {
-        let mut sampler =
-            Sampler::from_seed(cfg.seed ^ (slot_idx as u64) << 20 ^ sources[i].0 as u64);
+        let mut sampler = Sampler::from_seed(cfg.seed ^ token << 20 ^ sources[i].0 as u64);
         let side = match cfg.reference {
             ReferenceProcess::Homogeneous => {
                 random_side(store.timeline(sources[i]), slot, cfg, &mut sampler)
@@ -194,7 +238,9 @@ fn slot_evidence(
                     .filter(|_| !pool.is_empty())
                     .map(|_| {
                         let r = &pool[sampler.index(pool.len())];
-                        Millis(r.client_ts.0 + (sampler.unit() * 4_000.0) as i64 - 2_000)
+                        let jitter =
+                            (sampler.unit() * (2 * LOAD_JITTER_MS) as f64) as i64 - LOAD_JITTER_MS;
+                        Millis(r.client_ts.0 + jitter)
                     })
                     .collect();
                 side_from_points(store.timeline(sources[i]), &picks, cfg)
@@ -217,7 +263,7 @@ fn slot_evidence(
                     let mut sampler = Sampler::from_seed(
                         cfg.seed
                             ^ 0x0b51de
-                            ^ (slot_idx as u64) << 24
+                            ^ token << 24
                             ^ (sources[i].0 as u64) << 12
                             ^ sources[j].0 as u64,
                     );
@@ -236,7 +282,7 @@ fn slot_evidence(
                         let mut sampler = Sampler::from_seed(
                             cfg.seed
                                 ^ 0x0b51de
-                                ^ (slot_idx as u64) << 24
+                                ^ token << 24
                                 ^ (sources[j].0 as u64) << 12
                                 ^ sources[i].0 as u64,
                         );

@@ -14,7 +14,8 @@ use serde::{Deserialize, Serialize};
 /// Distance samples of one side of the comparison, with its CI.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct DistanceSamples {
-    /// Sorted distances in milliseconds.
+    /// Sorted distances in milliseconds (empty when
+    /// [`L1Config::retain_dists`] is off).
     pub dists: Vec<f64>,
     /// Location estimate (median or mean per config).
     pub center: f64,
@@ -40,32 +41,115 @@ pub struct DirectionOutcome {
 /// configured distance kind. Points with no defined distance (empty
 /// timeline, or nothing after the point for [`DistanceKind::Next`]) are
 /// dropped.
+///
+/// The query points are sorted once and every distance comes from one
+/// O(n + m) two-pointer merge sweep ([`Timeline::dists_to_nearest_sorted`])
+/// instead of a binary search per point. The multiset of distances is
+/// identical to the per-point search — only their order changes, and
+/// [`summarize`] sorts anyway.
 fn distances(a: &Timeline, points: &[Millis], kind: DistanceKind) -> Vec<f64> {
-    points
-        .iter()
-        .filter_map(|&p| match kind {
-            DistanceKind::Nearest => a.dist_to_nearest(p),
-            DistanceKind::Next => a.dist_to_next(p),
-        })
-        .map(|d| d as f64)
-        .collect()
+    let mut sorted: Vec<Millis> = points.to_vec();
+    sorted.sort_unstable();
+    let raw = match kind {
+        DistanceKind::Nearest => a.dists_to_nearest_sorted(&sorted),
+        DistanceKind::Next => a.dists_to_next_sorted(&sorted),
+    };
+    raw.into_iter().map(|d| d as f64).collect()
+}
+
+/// Sorts a distance sample produced by the merge sweep. Distances of
+/// ascending query points form few monotone runs (a descending-then-
+/// ascending "V" between consecutive logs of `a`), so a natural
+/// bottom-up merge — reverse each descending run, then pairwise-merge
+/// adjacent runs — finishes in O(m log r) for r runs instead of the
+/// general O(m log m) comparison sort. Every value is a non-negative
+/// integer distance cast to f64 (finite, never NaN, never −0.0), so
+/// `<=` is a total order here and the output is bit-identical to
+/// `sort_by(total_cmp)`.
+fn sort_distance_runs(mut v: Vec<f64>) -> Vec<f64> {
+    let n = v.len();
+    if n < 2 {
+        return v;
+    }
+    // Pass 1: split into maximal monotone runs (run starts + final n),
+    // reversing strictly-descending runs in place so every run ascends.
+    let mut bounds = Vec::new();
+    let mut i = 0;
+    while i < n {
+        let start = i;
+        i += 1;
+        if i < n && v[i] < v[i - 1] {
+            while i < n && v[i] < v[i - 1] {
+                i += 1;
+            }
+            v[start..i].reverse();
+        } else {
+            while i < n && v[i] >= v[i - 1] {
+                i += 1;
+            }
+        }
+        bounds.push(start);
+    }
+    bounds.push(n);
+
+    // Pass 2+: merge adjacent run pairs until a single run remains.
+    let mut src = v;
+    let mut dst: Vec<f64> = Vec::with_capacity(n);
+    while bounds.len() > 2 {
+        let mut next_bounds = Vec::with_capacity(bounds.len() / 2 + 2);
+        dst.clear();
+        let mut b = 0;
+        while b + 2 < bounds.len() {
+            next_bounds.push(dst.len());
+            merge_sorted_runs(
+                &src[bounds[b]..bounds[b + 1]],
+                &src[bounds[b + 1]..bounds[b + 2]],
+                &mut dst,
+            );
+            b += 2;
+        }
+        if b + 1 < bounds.len() {
+            // Odd run out: carry it to the next round unchanged.
+            next_bounds.push(dst.len());
+            dst.extend_from_slice(&src[bounds[b]..bounds[b + 1]]);
+        }
+        next_bounds.push(dst.len());
+        std::mem::swap(&mut src, &mut dst);
+        bounds = next_bounds;
+    }
+    src
+}
+
+/// Merges two ascending runs into `out` (finite values only).
+fn merge_sorted_runs(a: &[f64], b: &[f64], out: &mut Vec<f64>) {
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        if a[i] <= b[j] {
+            out.push(a[i]);
+            i += 1;
+        } else {
+            out.push(b[j]);
+            j += 1;
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
 }
 
 /// Builds the CI for a distance sample under the configured statistic.
-fn summarize(mut dists: Vec<f64>, cfg: &L1Config) -> Option<DistanceSamples> {
+/// With `cfg.retain_dists` off the raw distances are dropped after the
+/// CI is computed, leaving a verdict-sized sample (the cached hot path;
+/// [`L1Config::validate`] rejects the combination with the rank-sum
+/// rule, which needs the raw values).
+fn summarize(dists: Vec<f64>, cfg: &L1Config) -> Option<DistanceSamples> {
     if dists.len() < 10 {
         return None;
     }
-    dists.sort_by(|a, b| a.total_cmp(b));
-    match cfg.stat {
+    let mut dists = sort_distance_runs(dists);
+    let (center, lower, upper) = match cfg.stat {
         CenterStat::Median => {
             let ci = order_stats::median_ci_sorted(&dists, cfg.ci_level).ok()?;
-            Some(DistanceSamples {
-                center: ci.point,
-                lower: ci.lower,
-                upper: ci.upper,
-                dists,
-            })
+            (ci.point, ci.lower, ci.upper)
         }
         CenterStat::Mean => {
             let n = dists.len() as f64;
@@ -73,14 +157,18 @@ fn summarize(mut dists: Vec<f64>, cfg: &L1Config) -> Option<DistanceSamples> {
             let sd = descriptive::std_dev(&dists).ok()?;
             let t = tdist::two_sided_t(cfg.ci_level, n - 1.0).ok()?;
             let half = t * sd / n.sqrt();
-            Some(DistanceSamples {
-                center: mean,
-                lower: mean - half,
-                upper: mean + half,
-                dists,
-            })
+            (mean, mean - half, mean + half)
         }
+    };
+    if !cfg.retain_dists {
+        dists = Vec::new();
     }
+    Some(DistanceSamples {
+        center,
+        lower,
+        upper,
+        dists,
+    })
 }
 
 /// Random-side sample of the test: distances of `sample_size` uniform
@@ -296,6 +384,45 @@ mod tests {
         let mut s = Sampler::from_seed(9);
         let out = direction_test(&a, &b, hour(), &c, &mut s).expect("data");
         assert!(!out.positive, "rank-sum rule flagged an unrelated pair");
+    }
+
+    #[test]
+    fn run_sort_matches_general_sort() {
+        let cases: Vec<Vec<f64>> = vec![
+            vec![],
+            vec![3.0],
+            vec![5.0, 1.0],
+            vec![9.0, 7.0, 3.0, 1.0, 0.0, 2.0, 4.0, 8.0], // one V
+            vec![1.0, 2.0, 3.0, 2.0, 1.0, 2.0, 3.0, 2.0], // zig-zag
+            vec![4.0, 4.0, 4.0, 1.0, 1.0, 9.0],           // ties
+            (0..100).map(|i| ((i * 37) % 41) as f64).collect(),
+        ];
+        for case in cases {
+            let mut expect = case.clone();
+            expect.sort_by(|a, b| a.total_cmp(b));
+            assert_eq!(sort_distance_runs(case.clone()), expect, "case {case:?}");
+        }
+    }
+
+    #[test]
+    fn retain_dists_off_keeps_the_verdict_drops_the_sample() {
+        let (a, b) = coupled_pair();
+        let on = cfg();
+        let off = L1Config {
+            retain_dists: false,
+            ..cfg()
+        };
+        let mut s1 = Sampler::from_seed(11);
+        let mut s2 = Sampler::from_seed(11);
+        let kept = direction_test(&a, &b, hour(), &on, &mut s1).expect("data");
+        let slim = direction_test(&a, &b, hour(), &off, &mut s2).expect("data");
+        assert_eq!(kept.positive, slim.positive);
+        assert_eq!(kept.sample_b.center, slim.sample_b.center);
+        assert_eq!(kept.sample_b.lower, slim.sample_b.lower);
+        assert_eq!(kept.sample_b.upper, slim.sample_b.upper);
+        assert_eq!(kept.sample_r.center, slim.sample_r.center);
+        assert!(!kept.sample_b.dists.is_empty());
+        assert!(slim.sample_b.dists.is_empty() && slim.sample_r.dists.is_empty());
     }
 
     #[test]

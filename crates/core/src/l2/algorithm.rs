@@ -117,14 +117,27 @@ pub fn run_l2_pool(
     cfg.validate()?;
     let session_set = reconstruct_range(store, range, &cfg.session);
     let bigrams = extract_bigrams_pool(&session_set.sessions, cfg.timeout_ms, par);
+    let (detected, outcomes) = associations(&bigrams, cfg);
+    Ok(L2Result {
+        detected,
+        outcomes,
+        bigrams,
+        session_stats: session_set.stats,
+    })
+}
 
+/// The significance pass of L2: tests every ordered type in `bigrams`
+/// against the χ²₁ gate and collects the detected pair model. Shared
+/// between the batch runner and the windowed cache driver, so both
+/// produce byte-identical outputs from equal counts. Iteration follows
+/// the `BTreeMap` key order — deterministic by construction.
+pub(crate) fn associations(
+    bigrams: &BigramCounts,
+    cfg: &L2Config,
+) -> (PairModel, Vec<PairTypeOutcome>) {
     let mut detected = PairModel::new();
     let mut outcomes = Vec::new();
-    // Deterministic iteration order for reproducible outputs.
-    let mut types: Vec<(&(SourceId, SourceId), &u64)> = bigrams.joint.iter().collect();
-    types.sort_by_key(|(k, _)| **k);
-
-    for (&(first, second), &f) in types {
+    for (&(first, second), &f) in bigrams.joint.iter() {
         if f < cfg.min_joint {
             continue;
         }
@@ -151,13 +164,7 @@ pub fn run_l2_pool(
             significant,
         });
     }
-
-    Ok(L2Result {
-        detected,
-        outcomes,
-        bigrams,
-        session_stats: session_set.stats,
-    })
+    (detected, outcomes)
 }
 
 #[cfg(test)]

@@ -4,21 +4,25 @@ use logdep_logstore::SourceId;
 use logdep_par::{par_chunks_fold, ParConfig};
 use logdep_sessions::Session;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Frequency data of all bigrams extracted from a session set.
 ///
 /// Uses the `(f, f1, f2, N)` marginal representation of Evert's UCS
 /// toolkit: the joint count per ordered type plus the two margins and
 /// the grand total, from which each 2×2 table is reconstructed.
+///
+/// The maps are `BTreeMap`s so iteration, serialization, and shard
+/// merges are deterministically ordered — equal counts serialize to
+/// byte-identical snapshots, which the incremental cache relies on.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct BigramCounts {
     /// Joint counts per ordered `(first, second)` source pair.
-    pub joint: HashMap<(SourceId, SourceId), u64>,
+    pub joint: BTreeMap<(SourceId, SourceId), u64>,
     /// Count of bigrams whose first component is the given source.
-    pub first_margin: HashMap<SourceId, u64>,
+    pub first_margin: BTreeMap<SourceId, u64>,
     /// Count of bigrams whose second component is the given source.
-    pub second_margin: HashMap<SourceId, u64>,
+    pub second_margin: BTreeMap<SourceId, u64>,
     /// Total number of bigrams.
     pub total: u64,
 }
@@ -65,8 +69,9 @@ pub fn extract_bigrams_pool(
     )
 }
 
-/// Counts one session's bigrams into `counts` — the serial inner loop.
-fn count_session(counts: &mut BigramCounts, session: &Session, timeout_ms: Option<i64>) {
+/// Counts one session's bigrams into `counts` — the serial inner loop
+/// (also the per-chunk primitive of the windowed cache driver).
+pub(crate) fn count_session(counts: &mut BigramCounts, session: &Session, timeout_ms: Option<i64>) {
     for w in session.entries.windows(2) {
         let (first, second) = (w[0], w[1]);
         if first.source == second.source {

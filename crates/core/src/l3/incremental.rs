@@ -83,6 +83,13 @@ impl IncrementalL3 {
             .collect()
     }
 
+    /// All citation counts in deterministic key order — the exportable
+    /// form the windowed cache persists per day chunk (counts are
+    /// monotone and additive, so cached chunks merge exactly).
+    pub fn citation_counts(&self) -> std::collections::BTreeMap<(SourceId, usize), u64> {
+        self.citations.iter().map(|(&k, &c)| (k, c)).collect()
+    }
+
     /// Citation count for a specific pair.
     pub fn citation_count(&self, app: SourceId, service_idx: usize) -> u64 {
         self.citations

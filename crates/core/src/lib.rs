@@ -59,6 +59,7 @@
 #![warn(missing_docs)]
 
 pub mod baselines;
+pub mod cache;
 pub mod ensemble;
 pub mod error;
 pub mod eval;
@@ -69,11 +70,16 @@ pub mod l1;
 pub mod l2;
 pub mod l3;
 pub mod model;
+pub mod window;
 
+pub use cache::{run_l1_cached, run_l1_slots_cached, CacheStats, EvidenceCache, EvidenceKey};
 pub use error::{MineError, Result};
 pub use graph::DependencyGraph;
 pub use health::{run_pipeline, DetectorHealth, DetectorKind, PipelineConfig, PipelineOutcome};
 pub use model::{diff_app_service, diff_pairs, AppServiceModel, Diff, PairModel};
+pub use window::{
+    run_l2_windowed_cached, run_l3_windowed_cached, run_window_cached, WindowOutcome,
+};
 
 // Re-export the substrate crates under predictable names so downstream
 // users need only one dependency.

@@ -1,0 +1,290 @@
+//! Sliding-window incremental pipeline driver.
+//!
+//! The "around the clock" deployment of §1.2: re-mine the trailing
+//! window (say, 7 days) once per day. The batch runners would replay
+//! the whole window; the drivers here route every technique through the
+//! [`EvidenceCache`] so an advance only recomputes the day that entered
+//! the window — the rest hits on content address.
+//!
+//! Equality with the batch runners is structural, not statistical:
+//!
+//! * **L1** — slot evidence is cached per slot ([`run_l1_cached`]) and
+//!   combined by the very same thresholding pass.
+//! * **L2** — sessions of the window are bucketed by their *start day*;
+//!   each bucket's [`BigramCounts`] is cached under a digest of the
+//!   bucket's sessions and the buckets merge with saturating adds
+//!   (order-free), reproducing the whole-window counts exactly. Gap
+//!   splitting is local, so interior days' buckets are byte-stable as
+//!   the window slides; only the edge days (whose sessions the window
+//!   boundary clips) re-digest and recompute.
+//! * **L3** — citation counts are additive over any partition of the
+//!   records, so the window splits at absolute day boundaries and each
+//!   chunk's counts are cached under a digest of its records.
+
+use crate::cache::{
+    l2_fingerprint, l3_fingerprint, run_l1_cached, CacheStats, EvidenceCache, EvidenceKey, Fnv,
+    L3DayCounts,
+};
+use crate::health::PipelineConfig;
+use crate::l1::L1Result;
+use crate::l2::{associations, count_session, merge_counts, BigramCounts, L2Config, L2Result};
+use crate::l3::{IncrementalL3, L3Config, L3Result};
+use crate::model::AppServiceModel;
+use logdep_logstore::time::{TimeRange, MS_PER_DAY};
+use logdep_logstore::{LogStore, Millis};
+use logdep_sessions::{reconstruct_range, Session};
+use std::collections::{BTreeMap, HashMap};
+
+/// Everything one windowed pipeline pass produced, plus the cache
+/// traffic it caused.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowOutcome {
+    /// The analysis window.
+    pub window: TimeRange,
+    /// L1 result, when enabled in the [`PipelineConfig`].
+    pub l1: Option<L1Result>,
+    /// L2 result, when enabled.
+    pub l2: Option<L2Result>,
+    /// L3 result, when enabled.
+    pub l3: Option<L3Result>,
+    /// Hit/miss counters of *this pass only*.
+    pub stats: CacheStats,
+}
+
+/// Runs every enabled technique of `cfg` over `window` through the
+/// cache, then evicts entries that slid out of the window. The results
+/// are byte-identical to [`crate::health::run_pipeline`]'s per-layer
+/// outcomes on the same window.
+pub fn run_window_cached(
+    store: &LogStore,
+    window: TimeRange,
+    service_ids: &[String],
+    cfg: &PipelineConfig,
+    cache: &mut EvidenceCache,
+) -> crate::Result<WindowOutcome> {
+    let before = cache.stats();
+    let sources = store.active_sources();
+    let l1 = match &cfg.l1 {
+        Some(c) => Some(run_l1_cached(store, window, &sources, c, &cfg.par, cache)?),
+        None => None,
+    };
+    let l2 = match &cfg.l2 {
+        Some(c) => Some(run_l2_windowed_cached(store, window, c, cache)?),
+        None => None,
+    };
+    let l3 = match &cfg.l3 {
+        Some(c) => Some(run_l3_windowed_cached(
+            store,
+            window,
+            service_ids,
+            c,
+            cache,
+        )?),
+        None => None,
+    };
+    cache.evict_outside(window);
+    Ok(WindowOutcome {
+        window,
+        l1,
+        l2,
+        l3,
+        stats: cache.stats().since(&before),
+    })
+}
+
+/// Technique L2 over `window` with per-day bigram memoization —
+/// byte-identical to [`crate::l2::run_l2`] on the same window.
+///
+/// Sessions are reconstructed for the whole window (cheap — a linear
+/// sweep), bucketed by start day, and each bucket's counts are cached
+/// under a digest of the bucket's exact session contents. A clipped
+/// edge-day session changes its bucket's digest, so boundary effects
+/// can never replay stale counts.
+pub fn run_l2_windowed_cached(
+    store: &LogStore,
+    window: TimeRange,
+    cfg: &L2Config,
+    cache: &mut EvidenceCache,
+) -> crate::Result<L2Result> {
+    cfg.validate()?;
+    let fp = l2_fingerprint(cfg);
+    let session_set = reconstruct_range(store, window, &cfg.session);
+
+    // Bucket sessions by start day. Sessions are ordered by start time,
+    // so buckets are contiguous runs and day order equals session order.
+    let mut buckets: BTreeMap<i64, Vec<&Session>> = BTreeMap::new();
+    for session in &session_set.sessions {
+        buckets
+            .entry(session.start().0.div_euclid(MS_PER_DAY))
+            .or_default()
+            .push(session);
+    }
+
+    let mut bigrams = BigramCounts::default();
+    for (day, sessions) in &buckets {
+        let key = EvidenceKey {
+            fingerprint: fp,
+            start: day.saturating_mul(MS_PER_DAY),
+            end: day.saturating_add(1).saturating_mul(MS_PER_DAY),
+            digest: sessions_digest(sessions),
+        };
+        let counts = match cache.l2.get(&key) {
+            Some(stored) => {
+                cache.stats.l2_hits += 1;
+                stored.clone()
+            }
+            None => {
+                cache.stats.l2_misses += 1;
+                let mut fresh = BigramCounts::default();
+                for session in sessions {
+                    count_session(&mut fresh, session, cfg.timeout_ms);
+                }
+                cache.l2.insert(key, fresh.clone());
+                fresh
+            }
+        };
+        bigrams = merge_counts(bigrams, counts);
+    }
+
+    let (detected, outcomes) = associations(&bigrams, cfg);
+    Ok(L2Result {
+        detected,
+        outcomes,
+        bigrams,
+        session_stats: session_set.stats,
+    })
+}
+
+/// Digest of one day bucket's sessions: every user/host key and every
+/// entry's timestamp and source, length-framed per session so adjacent
+/// sessions cannot alias.
+fn sessions_digest(sessions: &[&Session]) -> u64 {
+    let mut f = Fnv::new();
+    f.push_u64(sessions.len() as u64);
+    for session in sessions {
+        f.push_u64(u64::from(session.user.0));
+        f.push_u64(u64::from(session.host.0));
+        f.push_u64(session.entries.len() as u64);
+        for entry in &session.entries {
+            f.push_i64(entry.ts.0);
+            f.push_u64(u64::from(entry.source.0));
+        }
+    }
+    f.finish()
+}
+
+/// Technique L3 over `window` with per-day-chunk count memoization —
+/// byte-identical to [`crate::l3::run_l3`] on the same window.
+/// Each chunk's miss path feeds its records through a fresh
+/// [`IncrementalL3`], the very scanner the streaming deployment uses.
+pub fn run_l3_windowed_cached(
+    store: &LogStore,
+    window: TimeRange,
+    service_ids: &[String],
+    cfg: &L3Config,
+    cache: &mut EvidenceCache,
+) -> crate::Result<L3Result> {
+    let fp = l3_fingerprint(cfg, service_ids);
+    let mut citations: BTreeMap<(logdep_logstore::SourceId, usize), u64> = BTreeMap::new();
+    let mut scanned = 0u64;
+    let mut stopped = 0u64;
+
+    for chunk in day_chunks(window) {
+        let records = store.range(chunk);
+        let mut digest = Fnv::new();
+        digest.push_u64(records.len() as u64);
+        for rec in records {
+            digest.push_i64(rec.client_ts.0);
+            digest.push_u64(u64::from(rec.source.0));
+            digest.push_str(&rec.text);
+        }
+        let key = EvidenceKey {
+            fingerprint: fp,
+            start: chunk.start.0,
+            end: chunk.end.0,
+            digest: digest.finish(),
+        };
+        let day = match cache.l3.get(&key) {
+            Some(stored) => {
+                cache.stats.l3_hits += 1;
+                stored.clone()
+            }
+            None => {
+                cache.stats.l3_misses += 1;
+                let mut inc = IncrementalL3::new(service_ids, cfg);
+                inc.observe_batch(records);
+                let (s, p) = inc.stats();
+                let fresh = L3DayCounts {
+                    citations: inc.citation_counts(),
+                    scanned: s as u64,
+                    stopped: p as u64,
+                };
+                cache.l3.insert(key, fresh.clone());
+                fresh
+            }
+        };
+        for (k, c) in day.citations {
+            let slot = citations.entry(k).or_insert(0);
+            *slot = slot.saturating_add(c);
+        }
+        scanned = scanned.saturating_add(day.scanned);
+        stopped = stopped.saturating_add(day.stopped);
+    }
+
+    let mut detected = AppServiceModel::new();
+    for (&(app, svc), &count) in &citations {
+        if count >= cfg.min_citations {
+            detected.insert(app, svc);
+        }
+    }
+    Ok(L3Result {
+        detected,
+        citations: citations.into_iter().collect::<HashMap<_, _>>(),
+        stopped_logs: usize::try_from(stopped).unwrap_or(usize::MAX),
+        scanned_logs: usize::try_from(scanned).unwrap_or(usize::MAX),
+    })
+}
+
+/// Splits `window` at absolute day boundaries (partial edge chunks
+/// allowed). Chunk addresses are absolute, so a chunk keeps its cache
+/// key as the window slides.
+fn day_chunks(window: TimeRange) -> Vec<TimeRange> {
+    let mut chunks = Vec::new();
+    let mut t = window.start;
+    while t < window.end {
+        let next = Millis((t.0.div_euclid(MS_PER_DAY) + 1).saturating_mul(MS_PER_DAY));
+        let end = next.min(window.end);
+        chunks.push(TimeRange::new(t, end));
+        t = end;
+    }
+    chunks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn day_chunks_split_at_absolute_boundaries() {
+        let w = TimeRange::new(Millis(MS_PER_DAY / 2), Millis(2 * MS_PER_DAY + 7));
+        let chunks = day_chunks(w);
+        assert_eq!(
+            chunks,
+            vec![
+                TimeRange::new(Millis(MS_PER_DAY / 2), Millis(MS_PER_DAY)),
+                TimeRange::new(Millis(MS_PER_DAY), Millis(2 * MS_PER_DAY)),
+                TimeRange::new(Millis(2 * MS_PER_DAY), Millis(2 * MS_PER_DAY + 7)),
+            ]
+        );
+        assert!(day_chunks(TimeRange::new(Millis(5), Millis(5))).is_empty());
+    }
+
+    #[test]
+    fn aligned_window_chunks_exactly() {
+        let w = TimeRange::new(Millis(MS_PER_DAY), Millis(3 * MS_PER_DAY));
+        let chunks = day_chunks(w);
+        assert_eq!(chunks.len(), 2);
+        assert_eq!(chunks[0], TimeRange::day(1));
+        assert_eq!(chunks[1], TimeRange::day(2));
+    }
+}

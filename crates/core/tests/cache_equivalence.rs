@@ -1,0 +1,293 @@
+//! Differential conformance of the evidence cache: cached mining ≡
+//! batch mining, bit for bit, at every cache state.
+//!
+//! For each technique the canonical snapshot of the cached runner's
+//! result is compared byte-for-byte against the batch runner's on the
+//! same simulated landscape — cold (empty cache), warm (every entry
+//! hits), after a surgical one-range invalidation, and after a JSON
+//! persistence round trip. A one-day window advance must hit on every
+//! interior day and still match a fresh-cache run exactly. Floats are
+//! rendered with `{:?}` (shortest round trip), so even a last-ulp drift
+//! from replaying cached evidence fails the test.
+
+use logdep::cache::{run_l1_cached, EvidenceCache};
+use logdep::health::PipelineConfig;
+use logdep::l1::{run_l1_pool, L1Config, L1Result};
+use logdep::l2::{run_l2_pool, L2Config, L2Result};
+use logdep::l3::{run_l3_pool, L3Config, L3Result};
+use logdep::window::{run_l2_windowed_cached, run_l3_windowed_cached, run_window_cached};
+use logdep_logstore::time::{TimeRange, MS_PER_HOUR};
+use logdep_logstore::{LogStore, Millis};
+use logdep_par::ParConfig;
+use logdep_sim::textgen::standard_stop_patterns;
+use logdep_sim::{simulate, SimConfig};
+use std::fmt::Write as _;
+
+const WIDTHS: [usize; 2] = [1, 4];
+
+struct Landscape {
+    store: LogStore,
+    service_ids: Vec<String>,
+}
+
+fn landscape(days: u32) -> Landscape {
+    let mut cfg = SimConfig::paper_week(11, 0.2);
+    cfg.days = days;
+    let out = simulate(&cfg);
+    let service_ids = out.directory.ids().iter().map(|s| s.to_string()).collect();
+    Landscape {
+        store: out.store,
+        service_ids,
+    }
+}
+
+fn pool(threads: usize) -> ParConfig {
+    ParConfig::with_threads(threads).expect("nonzero width")
+}
+
+fn l1_snapshot(res: &L1Result) -> String {
+    let mut s = format!("n_slots {}\n", res.n_slots);
+    for (a, b) in res.detected.iter() {
+        let _ = writeln!(s, "edge {a:?} {b:?}");
+    }
+    for o in &res.outcomes {
+        let _ = writeln!(
+            s,
+            "pair {:?} {:?} support {} positives {} pr {:?} dependent {}",
+            o.a, o.b, o.support, o.positives, o.pr, o.dependent
+        );
+    }
+    s
+}
+
+fn l2_snapshot(res: &L2Result) -> String {
+    let mut s = String::new();
+    for (a, b) in res.detected.iter() {
+        let _ = writeln!(s, "edge {a:?} {b:?}");
+    }
+    for o in &res.outcomes {
+        let _ = writeln!(
+            s,
+            "type {:?} {:?} joint {} stat {:?} p {:?} sig {}",
+            o.first, o.second, o.joint, o.statistic, o.p_value, o.significant
+        );
+    }
+    for (k, v) in res.bigrams.joint.iter() {
+        let _ = writeln!(s, "joint {k:?} {v}");
+    }
+    for (k, v) in res.bigrams.first_margin.iter() {
+        let _ = writeln!(s, "first {k:?} {v}");
+    }
+    for (k, v) in res.bigrams.second_margin.iter() {
+        let _ = writeln!(s, "second {k:?} {v}");
+    }
+    let _ = writeln!(s, "total {}", res.bigrams.total);
+    let _ = writeln!(s, "sessions {:?}", res.session_stats);
+    s
+}
+
+fn l3_snapshot(res: &L3Result) -> String {
+    let mut s = String::new();
+    for (app, svc) in res.detected.iter() {
+        let _ = writeln!(s, "dep {app:?} -> {svc}");
+    }
+    let mut cites: Vec<_> = res.citations.iter().collect();
+    cites.sort();
+    for ((app, svc), n) in cites {
+        let _ = writeln!(s, "cite {app:?} {svc} {n}");
+    }
+    let _ = writeln!(
+        s,
+        "stopped {} scanned {}",
+        res.stopped_logs, res.scanned_logs
+    );
+    s
+}
+
+fn l1_cfg() -> L1Config {
+    L1Config {
+        minlogs: 30,
+        seed: 7,
+        ..L1Config::default()
+    }
+}
+
+fn l3_cfg() -> L3Config {
+    L3Config::with_stop_patterns(standard_stop_patterns())
+}
+
+#[test]
+fn l1_cached_matches_batch_cold_warm_and_after_invalidation() {
+    let land = landscape(2);
+    let sources = land.store.active_sources();
+    let range = TimeRange::new(Millis(0), Millis::from_days(2));
+    let cfg = l1_cfg();
+
+    for threads in WIDTHS {
+        let par = pool(threads);
+        let batch = l1_snapshot(&run_l1_pool(&land.store, range, &sources, &cfg, &par).unwrap());
+
+        let mut cache = EvidenceCache::new();
+        let cold = run_l1_cached(&land.store, range, &sources, &cfg, &par, &mut cache).unwrap();
+        assert_eq!(l1_snapshot(&cold), batch, "cold, threads {threads}");
+        assert_eq!(cache.stats().l1_hits, 0);
+        assert_eq!(cache.stats().l1_misses, 48);
+
+        cache.reset_stats();
+        let warm = run_l1_cached(&land.store, range, &sources, &cfg, &par, &mut cache).unwrap();
+        assert_eq!(l1_snapshot(&warm), batch, "warm, threads {threads}");
+        assert_eq!(cache.stats().l1_hits, 48);
+        assert_eq!(cache.stats().l1_misses, 0);
+
+        // Knock out one interior slot; only it may recompute, and the
+        // combined result must not move a byte.
+        cache.reset_stats();
+        let hole = TimeRange::new(Millis(5 * MS_PER_HOUR), Millis(6 * MS_PER_HOUR));
+        assert_eq!(cache.invalidate_overlapping(hole), 1);
+        let patched = run_l1_cached(&land.store, range, &sources, &cfg, &par, &mut cache).unwrap();
+        assert_eq!(l1_snapshot(&patched), batch, "patched, threads {threads}");
+        assert_eq!(cache.stats().l1_hits, 47);
+        assert_eq!(cache.stats().l1_misses, 1);
+    }
+}
+
+#[test]
+fn l1_cache_survives_json_round_trip() {
+    let land = landscape(1);
+    let sources = land.store.active_sources();
+    let range = TimeRange::new(Millis(0), Millis::from_days(1));
+    let cfg = l1_cfg();
+    let par = pool(1);
+
+    let mut cache = EvidenceCache::new();
+    let first = run_l1_cached(&land.store, range, &sources, &cfg, &par, &mut cache).unwrap();
+    let mut restored = EvidenceCache::from_json(&cache.to_json().unwrap()).unwrap();
+    let replayed = run_l1_cached(&land.store, range, &sources, &cfg, &par, &mut restored).unwrap();
+    assert_eq!(l1_snapshot(&replayed), l1_snapshot(&first));
+    assert_eq!(restored.stats().l1_misses, 0, "round trip lost entries");
+}
+
+#[test]
+fn l2_windowed_matches_batch_cold_and_warm() {
+    let land = landscape(2);
+    let range = TimeRange::new(Millis(0), Millis::from_days(2));
+    let cfg = L2Config::default();
+
+    for threads in WIDTHS {
+        let batch = l2_snapshot(&run_l2_pool(&land.store, range, &cfg, &pool(threads)).unwrap());
+
+        let mut cache = EvidenceCache::new();
+        let cold = run_l2_windowed_cached(&land.store, range, &cfg, &mut cache).unwrap();
+        assert_eq!(l2_snapshot(&cold), batch, "cold, threads {threads}");
+        assert!(cache.stats().l2_misses >= 2);
+
+        cache.reset_stats();
+        let warm = run_l2_windowed_cached(&land.store, range, &cfg, &mut cache).unwrap();
+        assert_eq!(l2_snapshot(&warm), batch, "warm, threads {threads}");
+        assert_eq!(cache.stats().l2_misses, 0);
+        assert!(cache.stats().l2_hits >= 2);
+    }
+}
+
+#[test]
+fn l3_windowed_matches_batch_cold_and_warm() {
+    let land = landscape(2);
+    let range = TimeRange::new(Millis(0), Millis::from_days(2));
+    let cfg = l3_cfg();
+
+    for threads in WIDTHS {
+        let batch = l3_snapshot(
+            &run_l3_pool(&land.store, range, &land.service_ids, &cfg, &pool(threads)).unwrap(),
+        );
+
+        let mut cache = EvidenceCache::new();
+        let cold = run_l3_windowed_cached(&land.store, range, &land.service_ids, &cfg, &mut cache)
+            .unwrap();
+        assert_eq!(l3_snapshot(&cold), batch, "cold, threads {threads}");
+        assert_eq!(cache.stats().l3_misses, 2);
+
+        cache.reset_stats();
+        let warm = run_l3_windowed_cached(&land.store, range, &land.service_ids, &cfg, &mut cache)
+            .unwrap();
+        assert_eq!(l3_snapshot(&warm), batch, "warm, threads {threads}");
+        assert_eq!(cache.stats().l3_hits, 2);
+        assert_eq!(cache.stats().l3_misses, 0);
+    }
+}
+
+/// The headline property: advancing a 3-day window by one day hits on
+/// the shared days in every layer and still reproduces the fresh-cache
+/// (hence batch) results byte for byte. The window spans 3 days so it
+/// has a *true interior day* (day 2): L2 session buckets at the window
+/// edges legitimately re-digest (the boundary clips their sessions),
+/// but an interior day's bucket must be byte-stable across the slide.
+#[test]
+fn window_advance_hits_and_stays_byte_identical() {
+    let land = landscape(4);
+    let cfg = PipelineConfig {
+        l1: Some(l1_cfg()),
+        l2: Some(L2Config::default()),
+        l3: Some(l3_cfg()),
+        par: pool(4),
+    };
+    let w0 = TimeRange::new(Millis(0), Millis::from_days(3));
+    let w1 = TimeRange::new(Millis::from_days(1), Millis::from_days(4));
+
+    let mut rolling = EvidenceCache::new();
+    run_window_cached(&land.store, w0, &land.service_ids, &cfg, &mut rolling).unwrap();
+    let advanced =
+        run_window_cached(&land.store, w1, &land.service_ids, &cfg, &mut rolling).unwrap();
+    assert!(
+        advanced.stats.l1_hits >= 48,
+        "shared-day slots must hit: {:?}",
+        advanced.stats
+    );
+    assert!(advanced.stats.l2_hits >= 1, "{:?}", advanced.stats);
+    assert!(advanced.stats.l3_hits >= 2, "{:?}", advanced.stats);
+
+    let mut fresh = EvidenceCache::new();
+    let from_scratch =
+        run_window_cached(&land.store, w1, &land.service_ids, &cfg, &mut fresh).unwrap();
+    assert_eq!(
+        l1_snapshot(advanced.l1.as_ref().unwrap()),
+        l1_snapshot(from_scratch.l1.as_ref().unwrap())
+    );
+    assert_eq!(
+        l2_snapshot(advanced.l2.as_ref().unwrap()),
+        l2_snapshot(from_scratch.l2.as_ref().unwrap())
+    );
+    assert_eq!(
+        l3_snapshot(advanced.l3.as_ref().unwrap()),
+        l3_snapshot(from_scratch.l3.as_ref().unwrap())
+    );
+
+    // And the fresh-cache run matches the batch runners directly.
+    let sources = land.store.active_sources();
+    let batch_l1 = run_l1_pool(
+        &land.store,
+        w1,
+        &sources,
+        cfg.l1.as_ref().unwrap(),
+        &cfg.par,
+    );
+    assert_eq!(
+        l1_snapshot(from_scratch.l1.as_ref().unwrap()),
+        l1_snapshot(&batch_l1.unwrap())
+    );
+    let batch_l2 = run_l2_pool(&land.store, w1, cfg.l2.as_ref().unwrap(), &cfg.par);
+    assert_eq!(
+        l2_snapshot(from_scratch.l2.as_ref().unwrap()),
+        l2_snapshot(&batch_l2.unwrap())
+    );
+    let batch_l3 = run_l3_pool(
+        &land.store,
+        w1,
+        &land.service_ids,
+        cfg.l3.as_ref().unwrap(),
+        &cfg.par,
+    );
+    assert_eq!(
+        l3_snapshot(from_scratch.l3.as_ref().unwrap()),
+        l3_snapshot(&batch_l3.unwrap())
+    );
+}

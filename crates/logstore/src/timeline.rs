@@ -82,6 +82,132 @@ impl Timeline {
         self.points.get(i).map(|&p| p - t)
     }
 
+    /// Batched [`dist_to_nearest`] for an *ascending* query sequence:
+    /// one two-pointer merge sweep over both sorted sequences computes
+    /// every distance in O(n + m) total, instead of one O(log n) binary
+    /// search per point. Returns one entry per query point in query
+    /// order (each bit-identical to the per-point search), or an empty
+    /// vector on an empty timeline, where no distance is defined.
+    ///
+    /// [`dist_to_nearest`]: Timeline::dist_to_nearest
+    ///
+    /// # Panics
+    /// In debug builds, panics if `sorted_points` is not ascending.
+    pub fn dists_to_nearest_sorted(&self, sorted_points: &[Millis]) -> Vec<i64> {
+        debug_assert!(
+            sorted_points.windows(2).all(|w| w[0] <= w[1]),
+            "dists_to_nearest_sorted: query points not sorted"
+        );
+        if self.points.is_empty() {
+            return Vec::new();
+        }
+        let mut out = Vec::with_capacity(sorted_points.len());
+        // Invariant: `i` is the first index with points[i] >= t; the
+        // queries ascend, so it only ever moves forward.
+        let mut i = 0usize;
+        for &t in sorted_points {
+            while i < self.points.len() && self.points[i] < t {
+                i += 1;
+            }
+            let after = self.points.get(i).map(|&p| p - t);
+            let before = if i > 0 {
+                Some(t - self.points[i - 1])
+            } else {
+                None
+            };
+            match (before, after) {
+                (Some(b), Some(a)) => out.push(b.min(a)),
+                (Some(b), None) => out.push(b),
+                (None, Some(a)) => out.push(a),
+                (None, None) => {} // unreachable: the timeline is non-empty
+            }
+        }
+        out
+    }
+
+    /// Batched [`dist_to_next`] for an *ascending* query sequence — the
+    /// forward-only sweep companion of [`dists_to_nearest_sorted`].
+    /// Queries past the last timestamp have no next distance; since the
+    /// queries ascend those form a suffix, so the result is one entry
+    /// per query point of the defined prefix, in query order.
+    ///
+    /// [`dist_to_next`]: Timeline::dist_to_next
+    /// [`dists_to_nearest_sorted`]: Timeline::dists_to_nearest_sorted
+    ///
+    /// # Panics
+    /// In debug builds, panics if `sorted_points` is not ascending.
+    pub fn dists_to_next_sorted(&self, sorted_points: &[Millis]) -> Vec<i64> {
+        debug_assert!(
+            sorted_points.windows(2).all(|w| w[0] <= w[1]),
+            "dists_to_next_sorted: query points not sorted"
+        );
+        let mut out = Vec::with_capacity(sorted_points.len());
+        let mut i = 0usize;
+        for &t in sorted_points {
+            while i < self.points.len() && self.points[i] < t {
+                i += 1;
+            }
+            match self.points.get(i) {
+                Some(&p) => out.push(p - t),
+                None => break, // every later query is also past the end
+            }
+        }
+        out
+    }
+
+    /// Content digest (FNV-1a over the timestamp bytes) of the whole
+    /// timeline. Equal timelines have equal digests; the incremental
+    /// pipeline uses it as a cache-key component.
+    pub fn digest(&self) -> u64 {
+        let mut h = fnv_fold(
+            FNV_OFFSET,
+            i64::try_from(self.points.len()).unwrap_or(i64::MAX),
+        );
+        for &p in &self.points {
+            h = fnv_fold(h, p.0);
+        }
+        h
+    }
+
+    /// Content digest of the *evidence neighborhood* of `range`: the
+    /// timestamps inside `[range.start − margin_ms, range.end +
+    /// margin_ms)` plus the single nearest timestamp on each side.
+    /// Distance queries issued from points inside the widened range
+    /// consult at most those neighbors, so two timelines with equal
+    /// neighborhood digests produce bit-identical slot evidence —
+    /// appending logs on a later day does not disturb the digest of an
+    /// interior slot. Each section is framed (marker + count) so a
+    /// missing neighbor cannot alias with an extra in-range point.
+    pub fn digest_neighborhood(&self, range: TimeRange, margin_ms: i64) -> u64 {
+        let lo = Millis(range.start.0.saturating_sub(margin_ms));
+        let hi = Millis(range.end.0.saturating_add(margin_ms));
+        let lo_idx = self.points.partition_point(|&p| p < lo);
+        let hi_idx = self.points.partition_point(|&p| p < hi.max(lo));
+        let mut h = FNV_OFFSET;
+        // Predecessor frame.
+        match lo_idx.checked_sub(1).and_then(|i| self.points.get(i)) {
+            Some(&p) => {
+                h = fnv_fold(h, 1);
+                h = fnv_fold(h, p.0);
+            }
+            None => h = fnv_fold(h, 0),
+        }
+        // In-range frame.
+        h = fnv_fold(h, i64::try_from(hi_idx - lo_idx).unwrap_or(i64::MAX));
+        for &p in &self.points[lo_idx..hi_idx] {
+            h = fnv_fold(h, p.0);
+        }
+        // Successor frame.
+        match self.points.get(hi_idx) {
+            Some(&p) => {
+                h = fnv_fold(h, 1);
+                h = fnv_fold(h, p.0);
+            }
+            None => h = fnv_fold(h, 0),
+        }
+        h
+    }
+
     /// The sub-slice of timestamps inside the half-open `range`.
     pub fn slice_in(&self, range: TimeRange) -> &[Millis] {
         let lo = self.points.partition_point(|&p| p < range.start);
@@ -116,6 +242,20 @@ impl FromIterator<Millis> for Timeline {
     fn from_iter<I: IntoIterator<Item = Millis>>(iter: I) -> Self {
         Timeline::from_unsorted(iter.into_iter().collect())
     }
+}
+
+/// FNV-1a 64-bit offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Folds one value into an FNV-1a digest, byte by byte.
+fn fnv_fold(mut hash: u64, value: i64) -> u64 {
+    for byte in value.to_le_bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
 }
 
 #[cfg(test)]
@@ -182,6 +322,121 @@ mod tests {
     fn from_iterator_sorts() {
         let t: Timeline = [Millis(3), Millis(1), Millis(2)].into_iter().collect();
         assert_eq!(t.points(), &[Millis(1), Millis(2), Millis(3)]);
+    }
+
+    #[test]
+    fn sweep_matches_per_point_nearest() {
+        let t = tl(&[10, 20, 40]);
+        let queries: Vec<Millis> = [0, 5, 10, 14, 17, 30, 40, 41, 100]
+            .iter()
+            .map(|&x| Millis(x))
+            .collect();
+        let swept = t.dists_to_nearest_sorted(&queries);
+        let looped: Vec<i64> = queries
+            .iter()
+            .filter_map(|&q| t.dist_to_nearest(q))
+            .collect();
+        assert_eq!(swept, looped);
+        assert!(Timeline::empty()
+            .dists_to_nearest_sorted(&queries)
+            .is_empty());
+        assert!(t.dists_to_nearest_sorted(&[]).is_empty());
+    }
+
+    #[test]
+    fn sweep_matches_per_point_next() {
+        let t = tl(&[10, 20, 40]);
+        let queries: Vec<Millis> = [0, 10, 11, 21, 39, 40, 41, 99]
+            .iter()
+            .map(|&x| Millis(x))
+            .collect();
+        let swept = t.dists_to_next_sorted(&queries);
+        let looped: Vec<i64> = queries.iter().filter_map(|&q| t.dist_to_next(q)).collect();
+        assert_eq!(swept, looped, "defined-prefix semantics");
+        assert!(Timeline::empty().dists_to_next_sorted(&queries).is_empty());
+    }
+
+    #[test]
+    fn sweep_handles_duplicate_queries() {
+        let t = tl(&[10, 20]);
+        let queries = [Millis(15), Millis(15), Millis(15)];
+        assert_eq!(t.dists_to_nearest_sorted(&queries), vec![5, 5, 5]);
+        assert_eq!(t.dists_to_next_sorted(&queries), vec![5, 5, 5]);
+    }
+
+    #[test]
+    fn digest_is_content_addressed() {
+        let a = tl(&[1, 2, 3]);
+        let b = tl(&[3, 2, 1]); // same sorted content
+        let c = tl(&[1, 2, 4]);
+        assert_eq!(a.digest(), b.digest());
+        assert_ne!(a.digest(), c.digest());
+        assert_ne!(tl(&[]).digest(), tl(&[0]).digest());
+    }
+
+    #[test]
+    fn neighborhood_digest_ignores_far_appends() {
+        let base = tl(&[100, 200, 300]);
+        let appended = tl(&[100, 200, 300, 9_000]);
+        let r = TimeRange::new(Millis(100), Millis(250));
+        // The append lands beyond the successor-of-range, so the slot's
+        // neighborhood is unchanged... except 300 *is* the successor in
+        // both, so digests agree.
+        assert_eq!(
+            base.digest_neighborhood(r, 0),
+            appended.digest_neighborhood(r, 0)
+        );
+        // Changing a point inside the range changes the digest.
+        let moved = tl(&[100, 201, 300]);
+        assert_ne!(
+            base.digest_neighborhood(r, 0),
+            moved.digest_neighborhood(r, 0)
+        );
+        // Changing the successor changes the digest too.
+        let succ_moved = tl(&[100, 200, 301]);
+        assert_ne!(
+            base.digest_neighborhood(r, 0),
+            succ_moved.digest_neighborhood(r, 0)
+        );
+    }
+
+    #[test]
+    fn neighborhood_digest_frames_prevent_aliasing() {
+        // Predecessor-present vs one-more-in-range must not collide.
+        let with_pred = tl(&[3, 5, 7]);
+        let all_in = tl(&[3, 5, 7]);
+        let r_excl = TimeRange::new(Millis(4), Millis(8)); // pred = 3
+        let r_incl = TimeRange::new(Millis(3), Millis(8)); // 3 in range
+        assert_ne!(
+            with_pred.digest_neighborhood(r_excl, 0),
+            all_in.digest_neighborhood(r_incl, 0)
+        );
+    }
+
+    #[test]
+    fn neighborhood_margin_widens_the_sensitivity() {
+        let base = tl(&[100, 200, 1_400]);
+        let moved = tl(&[100, 200, 1_450]); // outside range, inside margin
+        let r = TimeRange::new(Millis(0), Millis(1_000));
+        // Without margin both see 1_400/1_450 only as "the successor",
+        // which differs — so use a case where the *second* point out
+        // moves instead.
+        let base2 = tl(&[100, 200, 1_400, 1_600]);
+        let moved2 = tl(&[100, 200, 1_400, 1_650]);
+        assert_eq!(
+            base2.digest_neighborhood(r, 0),
+            moved2.digest_neighborhood(r, 0),
+            "beyond the successor, invisible without margin"
+        );
+        assert_ne!(
+            base2.digest_neighborhood(r, 1_000),
+            moved2.digest_neighborhood(r, 1_000),
+            "inside the 1s margin, visible"
+        );
+        assert_ne!(
+            base.digest_neighborhood(r, 500),
+            moved.digest_neighborhood(r, 500)
+        );
     }
 
     #[test]

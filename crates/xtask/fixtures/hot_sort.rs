@@ -1,0 +1,22 @@
+// Fixture for the hot-sort rule: comparator sorts in distance-mining
+// hot paths. Lines 6 and 7 are findings when linted under
+// crates/logstore or crates/core/src/l1; key sorts, derived-order
+// sorts, and suppressed calls are not.
+pub fn resort(mut xs: Vec<i64>) -> Vec<i64> {
+    xs.sort_by(|a, b| a.cmp(b));
+    xs.sort_unstable_by(|a, b| b.cmp(a));
+    xs.sort_unstable();
+    xs.sort_by_key(|x| *x);
+    // lint:allow(hot-sort) — cold path: runs once per config reload
+    xs.sort_by(|a, b| a.cmp(b));
+    xs
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_sort_freely() {
+        let mut v = vec![2i64, 1];
+        v.sort_by(|a, b| a.cmp(b));
+    }
+}

@@ -117,6 +117,13 @@ pub const RULES: &[RuleInfo] = &[
         summary: "direct thread::spawn outside crates/par; use logdep_par::{scope, par_map, par_chunks_fold}",
         scope: POOLED_CRATES,
     },
+    RuleInfo {
+        name: "hot-sort",
+        severity: Severity::Warn,
+        summary: "comparator sort (sort_by/sort_unstable_by) in the L1/timeline hot paths; \
+                  prefer the merge-sweep kernels or sorted-run merges",
+        scope: &["core", "logstore"],
+    },
 ];
 
 /// Looks up a rule by name.
@@ -187,6 +194,7 @@ fn lint_tokens(rel: &str, crate_name: &str, lexed: &Lexed) -> Vec<Diagnostic> {
             "unchecked-indexing" => unchecked_indexing(tokens, &mask),
             "silent-drop" => silent_drop(tokens, &mask),
             "raw-thread-spawn" => raw_thread_spawn(tokens, &mask),
+            "hot-sort" => hot_sort(rel, crate_name, tokens, &mask),
             _ => Vec::new(),
         };
         for (line, message) in found {
@@ -663,6 +671,43 @@ fn raw_thread_spawn(tokens: &[Token], mask: &[bool]) -> Vec<(u32, String)> {
             out.push((
                 tokens[i].line,
                 "thread::spawn outside crates/par bypasses the deterministic pool; use logdep_par::{scope, par_map, par_chunks_fold}".to_string(),
+            ));
+        }
+    }
+    out
+}
+
+/// Comparator-sort methods that reintroduce O(n log n) work per call.
+const HOT_SORT_METHODS: &[&str] = &["sort_by", "sort_unstable_by"];
+
+/// Comparator sorts in the distance-mining hot paths. The L1 kernel and
+/// the logstore timeline are the pipeline's per-slot inner loops; the
+/// merge-sweep rewrite removed their comparator sorts in favour of
+/// O(n+m) sweeps and cheap sorted-run merges, and this rule keeps them
+/// out. Scope is `crates/logstore` and `crates/core/src/l1` only —
+/// elsewhere in core a comparator sort is fine. Justified uses carry
+/// `// lint:allow(hot-sort)`.
+fn hot_sort(rel: &str, crate_name: &str, tokens: &[Token], mask: &[bool]) -> Vec<(u32, String)> {
+    let hot = crate_name == "logstore" || (crate_name == "core" && rel.contains("/l1/"));
+    if !hot {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for i in 0..tokens.len() {
+        if mask[i] || tokens[i].kind != TokKind::Ident {
+            continue;
+        }
+        let name = tokens[i].text.as_str();
+        let is_method_call = i > 0
+            && tokens[i - 1].is_punct('.')
+            && tokens.get(i + 1).is_some_and(|t| t.is_punct('('));
+        if HOT_SORT_METHODS.contains(&name) && is_method_call {
+            out.push((
+                tokens[i].line,
+                format!(
+                    ".{name}() in a distance-mining hot path; use the merge-sweep kernels \
+                     (dists_to_*_sorted) or a sorted-run merge, or justify with lint:allow"
+                ),
             ));
         }
     }

@@ -326,6 +326,33 @@ mod fixture_tests {
     }
 
     #[test]
+    fn catches_hot_path_comparator_sorts() {
+        // Timeline crate: every file is hot.
+        let diags = lint_source("crates/logstore/src/fixture.rs", &fixture("hot_sort.rs"));
+        let sorts: Vec<_> = diags.iter().filter(|d| d.rule == "hot-sort").collect();
+        // Seeded: one sort_by and one sort_unstable_by; the derived-order
+        // sort, the key sort, the suppressed call, and the test module
+        // must all stay clean.
+        let lines: Vec<u32> = sorts.iter().map(|d| d.line).collect();
+        assert_eq!(lines, vec![6, 7], "diags: {diags:?}");
+        assert!(sorts
+            .iter()
+            .all(|d| d.severity == Severity::Warn && d.message.contains("merge-sweep")));
+        // Core crate: only the L1 kernel directory is hot.
+        let diags = lint_source("crates/core/src/l1/fixture.rs", &fixture("hot_sort.rs"));
+        assert_eq!(
+            diags.iter().filter(|d| d.rule == "hot-sort").count(),
+            2,
+            "diags: {diags:?}"
+        );
+        let diags = lint_source("crates/core/src/fixture.rs", &fixture("hot_sort.rs"));
+        assert!(
+            diags.iter().all(|d| d.rule != "hot-sort"),
+            "cold core path flagged: {diags:?}"
+        );
+    }
+
+    #[test]
     fn suppressions_silence_seeded_violations() {
         let diags = lint_source("crates/stats/src/fixture.rs", &fixture("suppressed.rs"));
         assert!(
