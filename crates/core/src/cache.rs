@@ -74,6 +74,17 @@ impl Fnv {
         self.push_bytes(s.as_bytes());
     }
 
+    /// Folds the exact bit pattern, so `-0.0` and `0.0` fingerprint
+    /// differently — fine for config fields, which are compared for
+    /// identity, not numeric equality.
+    pub(crate) fn push_f64(&mut self, v: f64) {
+        self.push_u64(v.to_bits());
+    }
+
+    pub(crate) fn push_bool(&mut self, v: bool) {
+        self.push_u64(u64::from(v));
+    }
+
     pub(crate) fn finish(self) -> u64 {
         self.0
     }
@@ -248,13 +259,27 @@ impl EvidenceCache {
     }
 }
 
-/// Fingerprint of an L1 configuration + candidate source list. Folds the
-/// `Debug` rendering of the config — every field participates, and new
-/// fields can never be forgotten here.
-pub(crate) fn l1_fingerprint(cfg: &L1Config, sources: &[SourceId]) -> u64 {
+/// Fingerprint of an L1 configuration + candidate source list. Every
+/// field is folded explicitly; the `fingerprint-completeness` lint
+/// cross-checks this body against the fields of [`L1Config`], so a new
+/// config field that never reaches the fingerprint is a lint deny, not
+/// a silent cache-staleness bug.
+pub fn l1_fingerprint(cfg: &L1Config, sources: &[SourceId]) -> u64 {
     let mut f = Fnv::new();
     f.push_str("l1");
-    f.push_str(&format!("{cfg:?}"));
+    f.push_i64(cfg.slot_ms);
+    f.push_u64(cfg.minlogs as u64);
+    f.push_f64(cfg.th_pr);
+    f.push_f64(cfg.th_s);
+    f.push_f64(cfg.ci_level);
+    f.push_u64(cfg.sample_size as u64);
+    f.push_u64(cfg.seed);
+    f.push_str(&format!("{:?}", cfg.distance));
+    f.push_str(&format!("{:?}", cfg.stat));
+    f.push_bool(cfg.two_sided);
+    f.push_str(&format!("{:?}", cfg.reference));
+    f.push_str(&format!("{:?}", cfg.decision));
+    f.push_bool(cfg.retain_dists);
     for s in sources {
         f.push_u64(u64::from(s.0));
     }
@@ -382,19 +407,32 @@ fn decode_evidence(stored: &[(u32, u32, bool)]) -> Vec<(usize, usize, bool)> {
         .collect()
 }
 
-/// Fingerprint of an L2 configuration.
-pub(crate) fn l2_fingerprint(cfg: &L2Config) -> u64 {
+/// Fingerprint of an L2 configuration. Field-by-field, checked by the
+/// `fingerprint-completeness` lint (see [`l1_fingerprint`]).
+pub fn l2_fingerprint(cfg: &L2Config) -> u64 {
     let mut f = Fnv::new();
     f.push_str("l2");
-    f.push_str(&format!("{cfg:?}"));
+    f.push_str(&format!("{:?}", cfg.timeout_ms));
+    f.push_f64(cfg.alpha);
+    f.push_str(&format!("{:?}", cfg.statistic));
+    f.push_u64(cfg.min_joint);
+    f.push_i64(cfg.session.max_gap_ms);
+    f.push_u64(cfg.session.min_logs as u64);
     f.finish()
 }
 
-/// Fingerprint of an L3 configuration + directory id list.
-pub(crate) fn l3_fingerprint(cfg: &L3Config, service_ids: &[String]) -> u64 {
+/// Fingerprint of an L3 configuration + directory id list. Field-by-
+/// field, checked by the `fingerprint-completeness` lint (see
+/// [`l1_fingerprint`]).
+pub fn l3_fingerprint(cfg: &L3Config, service_ids: &[String]) -> u64 {
     let mut f = Fnv::new();
     f.push_str("l3");
-    f.push_str(&format!("{cfg:?}"));
+    f.push_u64(cfg.stop_patterns.len() as u64);
+    for p in &cfg.stop_patterns {
+        f.push_str(p);
+    }
+    f.push_bool(cfg.whole_word);
+    f.push_u64(cfg.min_citations);
     for id in service_ids {
         f.push_str(id);
     }

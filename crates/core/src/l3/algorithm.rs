@@ -6,7 +6,7 @@ use logdep_logstore::{LogRecord, LogStore, SourceId};
 use logdep_par::{par_chunks_fold, ParConfig};
 use logdep_textmatch::{MatchMode, MatcherBuilder, StopPatterns};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Parameters of technique L3.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -53,8 +53,9 @@ pub struct L3Result {
     /// passed to [`run_l3`]).
     pub detected: AppServiceModel,
     /// Citation counts per `(app, service index)`, including pairs
-    /// below `min_citations`.
-    pub citations: HashMap<(SourceId, usize), u64>,
+    /// below `min_citations`. Ordered so snapshots and serialization
+    /// walk the counters in a stable key order.
+    pub citations: BTreeMap<(SourceId, usize), u64>,
     /// Records skipped because a stop pattern matched.
     pub stopped_logs: usize,
     /// Records scanned (after stop filtering).
@@ -65,7 +66,7 @@ pub struct L3Result {
 /// tallies. Addition-only, so shards merge order-free.
 #[derive(Default)]
 struct ScanShard {
-    citations: HashMap<(SourceId, usize), u64>,
+    citations: BTreeMap<(SourceId, usize), u64>,
     stopped: usize,
     scanned: usize,
 }

@@ -12,7 +12,7 @@ use super::algorithm::L3Config;
 use crate::model::AppServiceModel;
 use logdep_logstore::{LogRecord, SourceId};
 use logdep_textmatch::{MatchMode, Matcher, MatcherBuilder, StopPatterns};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A live L3 miner: feed log records, read the current model.
 #[derive(Debug)]
@@ -20,7 +20,7 @@ pub struct IncrementalL3 {
     matcher: Matcher,
     stops: StopPatterns,
     min_citations: u64,
-    citations: HashMap<(SourceId, usize), u64>,
+    citations: BTreeMap<(SourceId, usize), u64>,
     scanned: usize,
     stopped: usize,
 }
@@ -39,7 +39,7 @@ impl IncrementalL3 {
             matcher: builder.build(),
             stops: StopPatterns::new(&cfg.stop_patterns),
             min_citations: cfg.min_citations,
-            citations: HashMap::new(),
+            citations: BTreeMap::new(),
             scanned: 0,
             stopped: 0,
         }
@@ -86,8 +86,8 @@ impl IncrementalL3 {
     /// All citation counts in deterministic key order — the exportable
     /// form the windowed cache persists per day chunk (counts are
     /// monotone and additive, so cached chunks merge exactly).
-    pub fn citation_counts(&self) -> std::collections::BTreeMap<(SourceId, usize), u64> {
-        self.citations.iter().map(|(&k, &c)| (k, c)).collect()
+    pub fn citation_counts(&self) -> BTreeMap<(SourceId, usize), u64> {
+        self.citations.clone()
     }
 
     /// Citation count for a specific pair.

@@ -33,7 +33,7 @@ use crate::model::AppServiceModel;
 use logdep_logstore::time::{TimeRange, MS_PER_DAY};
 use logdep_logstore::{LogStore, Millis};
 use logdep_sessions::{reconstruct_range, Session};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
 /// Everything one windowed pipeline pass produced, plus the cache
 /// traffic it caused.
@@ -239,7 +239,7 @@ pub fn run_l3_windowed_cached(
     }
     Ok(L3Result {
         detected,
-        citations: citations.into_iter().collect::<HashMap<_, _>>(),
+        citations,
         stopped_logs: usize::try_from(stopped).unwrap_or(usize::MAX),
         scanned_logs: usize::try_from(scanned).unwrap_or(usize::MAX),
     })

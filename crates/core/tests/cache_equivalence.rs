@@ -10,7 +10,7 @@
 //! rendered with `{:?}` (shortest round trip), so even a last-ulp drift
 //! from replaying cached evidence fails the test.
 
-use logdep::cache::{run_l1_cached, EvidenceCache};
+use logdep::cache::{l1_fingerprint, l2_fingerprint, l3_fingerprint, run_l1_cached, EvidenceCache};
 use logdep::health::PipelineConfig;
 use logdep::l1::{run_l1_pool, L1Config, L1Result};
 use logdep::l2::{run_l2_pool, L2Config, L2Result};
@@ -213,6 +213,264 @@ fn l3_windowed_matches_batch_cold_and_warm() {
         assert_eq!(cache.stats().l3_hits, 2);
         assert_eq!(cache.stats().l3_misses, 0);
     }
+}
+
+/// Asserts every fingerprint in `prints` is distinct — i.e. each config
+/// mutation produced a different cache key. `labels[i]` names the field
+/// mutated to produce `prints[i]`.
+fn assert_all_distinct(labels: &[&str], prints: &[u64]) {
+    for i in 0..prints.len() {
+        for j in (i + 1)..prints.len() {
+            assert_ne!(
+                prints[i], prints[j],
+                "fingerprint ignores a config change: `{}` vs `{}` collide",
+                labels[i], labels[j]
+            );
+        }
+    }
+}
+
+/// Every L1Config field must reach the fingerprint: a change in any one
+/// of them (or in the source set) must produce a different cache key,
+/// or the cache would replay evidence computed under the old setting.
+/// The `fingerprint-completeness` lint proves every field is *read* by
+/// the digest; this proves each read actually *moves* the hash.
+#[test]
+fn l1_fingerprint_reflects_every_config_field() {
+    use logdep::l1::{CenterStat, DecisionRule, DistanceKind, ReferenceProcess};
+    use logdep_logstore::SourceId;
+
+    let base = L1Config::default();
+    let sources = [SourceId(0), SourceId(1)];
+    let variants: Vec<(&str, L1Config)> = vec![
+        ("base", base.clone()),
+        (
+            "slot_ms",
+            L1Config {
+                slot_ms: 1_234,
+                ..base.clone()
+            },
+        ),
+        (
+            "minlogs",
+            L1Config {
+                minlogs: 31,
+                ..base.clone()
+            },
+        ),
+        (
+            "th_pr",
+            L1Config {
+                th_pr: 0.61,
+                ..base.clone()
+            },
+        ),
+        (
+            "th_s",
+            L1Config {
+                th_s: 0.29,
+                ..base.clone()
+            },
+        ),
+        (
+            "ci_level",
+            L1Config {
+                ci_level: 0.9,
+                ..base.clone()
+            },
+        ),
+        (
+            "sample_size",
+            L1Config {
+                sample_size: 351,
+                ..base.clone()
+            },
+        ),
+        (
+            "seed",
+            L1Config {
+                seed: 8,
+                ..base.clone()
+            },
+        ),
+        (
+            "distance",
+            L1Config {
+                distance: DistanceKind::Next,
+                ..base.clone()
+            },
+        ),
+        (
+            "stat",
+            L1Config {
+                stat: CenterStat::Mean,
+                ..base.clone()
+            },
+        ),
+        (
+            "two_sided",
+            L1Config {
+                two_sided: !base.two_sided,
+                ..base.clone()
+            },
+        ),
+        (
+            "reference",
+            L1Config {
+                reference: ReferenceProcess::LoadProportional,
+                ..base.clone()
+            },
+        ),
+        (
+            "decision",
+            L1Config {
+                decision: DecisionRule::RankSum { alpha: 0.05 },
+                ..base.clone()
+            },
+        ),
+        (
+            "retain_dists",
+            L1Config {
+                retain_dists: !base.retain_dists,
+                ..base.clone()
+            },
+        ),
+    ];
+    let labels: Vec<&str> = variants.iter().map(|(l, _)| *l).collect();
+    let prints: Vec<u64> = variants
+        .iter()
+        .map(|(_, cfg)| l1_fingerprint(cfg, &sources))
+        .collect();
+    assert_all_distinct(&labels, &prints);
+
+    // The decision rule's embedded alpha must be folded too.
+    assert_ne!(
+        l1_fingerprint(
+            &L1Config {
+                decision: DecisionRule::RankSum { alpha: 0.05 },
+                ..base.clone()
+            },
+            &sources
+        ),
+        l1_fingerprint(
+            &L1Config {
+                decision: DecisionRule::RankSum { alpha: 0.01 },
+                ..base.clone()
+            },
+            &sources
+        ),
+        "RankSum alpha ignored"
+    );
+    // And so must the source set — identity and order.
+    assert_ne!(
+        l1_fingerprint(&base, &sources),
+        l1_fingerprint(&base, &[SourceId(0)]),
+        "source set ignored"
+    );
+}
+
+#[test]
+fn l2_fingerprint_reflects_every_config_field() {
+    use logdep_sessions::SessionConfig;
+    use logdep_stats::contingency::AssociationStatistic;
+
+    let base = L2Config::default();
+    let variants: Vec<(&str, L2Config)> = vec![
+        ("base", base.clone()),
+        (
+            "timeout_ms",
+            L2Config {
+                timeout_ms: Some(9_999),
+                ..base.clone()
+            },
+        ),
+        (
+            "alpha",
+            L2Config {
+                alpha: base.alpha / 2.0,
+                ..base.clone()
+            },
+        ),
+        (
+            "statistic",
+            L2Config {
+                statistic: AssociationStatistic::Pearson,
+                ..base.clone()
+            },
+        ),
+        (
+            "min_joint",
+            L2Config {
+                min_joint: base.min_joint + 1,
+                ..base.clone()
+            },
+        ),
+        (
+            "session.max_gap_ms",
+            L2Config {
+                session: SessionConfig {
+                    max_gap_ms: 7,
+                    ..base.session
+                },
+                ..base.clone()
+            },
+        ),
+        (
+            "session.min_logs",
+            L2Config {
+                session: SessionConfig {
+                    min_logs: base.session.min_logs + 1,
+                    ..base.session
+                },
+                ..base.clone()
+            },
+        ),
+    ];
+    let labels: Vec<&str> = variants.iter().map(|(l, _)| *l).collect();
+    let prints: Vec<u64> = variants
+        .iter()
+        .map(|(_, cfg)| l2_fingerprint(cfg))
+        .collect();
+    assert_all_distinct(&labels, &prints);
+}
+
+#[test]
+fn l3_fingerprint_reflects_every_config_field() {
+    let base = l3_cfg();
+    let ids: Vec<String> = vec!["UPSRV".into(), "AUTH".into()];
+    let mut fewer_patterns = base.clone();
+    fewer_patterns.stop_patterns.pop();
+    let variants: Vec<(&str, L3Config)> = vec![
+        ("base", base.clone()),
+        ("stop_patterns", fewer_patterns),
+        (
+            "whole_word",
+            L3Config {
+                whole_word: !base.whole_word,
+                ..base.clone()
+            },
+        ),
+        (
+            "min_citations",
+            L3Config {
+                min_citations: base.min_citations + 1,
+                ..base.clone()
+            },
+        ),
+    ];
+    let labels: Vec<&str> = variants.iter().map(|(l, _)| *l).collect();
+    let prints: Vec<u64> = variants
+        .iter()
+        .map(|(_, cfg)| l3_fingerprint(cfg, &ids))
+        .collect();
+    assert_all_distinct(&labels, &prints);
+
+    // The directory id set is part of the key as well.
+    assert_ne!(
+        l3_fingerprint(&base, &ids),
+        l3_fingerprint(&base, &ids[..1]),
+        "service id set ignored"
+    );
 }
 
 /// The headline property: advancing a 3-day window by one day hits on

@@ -21,7 +21,7 @@
 use logdep_logstore::time::TimeRange;
 use logdep_logstore::{HostId, LogStore, Millis, SourceId, UserId};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Parameters of session reconstruction.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -147,7 +147,7 @@ fn reconstruct_records<'a>(
     records: impl Iterator<Item = &'a logdep_logstore::LogRecord>,
     cfg: &SessionConfig,
 ) -> SessionSet {
-    let mut open: HashMap<(UserId, HostId), Session> = HashMap::new();
+    let mut open: BTreeMap<(UserId, HostId), Session> = BTreeMap::new();
     let mut done: Vec<Session> = Vec::new();
     let mut stats = SessionStats::default();
 

@@ -1,0 +1,11 @@
+//! Bare-allow fixture. The first marker silences its target rule but
+//! carries no justification — it must itself be denied. The second is
+//! reasoned and must pass.
+
+pub fn seeded(x: Option<u32>, y: Option<u32>) -> u32 {
+    // lint:allow(no-panic-in-lib)
+    let a = x.unwrap();
+    // lint:allow(no-panic-in-lib) — invariant: caller checked is_some
+    let b = y.unwrap();
+    a + b
+}

@@ -1,0 +1,35 @@
+//! Fingerprint-completeness fixture (`crates/core/src/fp.rs`). One
+//! digest with a seeded gap (fires, naming the skipped field), one
+//! that folds every field (clean), and one gapped digest under a
+//! justification (suppressed).
+
+pub struct DemoConfig {
+    pub slot_ms: u64,
+    pub alpha: f64,
+    pub two_sided: bool,
+}
+
+pub struct FullConfig {
+    pub seed: u64,
+    pub level: f64,
+}
+
+pub struct LegacyConfig {
+    pub seed: u64,
+    pub retries: u64,
+}
+
+pub fn demo_fingerprint(cfg: &DemoConfig) -> u64 {
+    let mut h = cfg.slot_ms;
+    h ^= cfg.alpha.to_bits();
+    h
+}
+
+pub fn full_fingerprint(cfg: &FullConfig) -> u64 {
+    cfg.seed ^ cfg.level.to_bits()
+}
+
+// lint:allow(fingerprint-completeness) — legacy digest; gap is tracked
+pub fn legacy_fingerprint(cfg: &LegacyConfig) -> u64 {
+    cfg.seed
+}

@@ -1,0 +1,19 @@
+//! Panic-reach fixture, pub API half (`crates/stats/src/api.rs`).
+//! `percentile` has no panic of its own but calls into a private fn
+//! that unwraps — the graph rule must flag it with the full chain.
+//! `justified` takes the same path under a suppression; `safe` sticks
+//! to the checked variant and must stay clean.
+
+pub fn percentile(xs: &[f64]) -> f64 {
+    let i = xs.len() / 2;
+    inner::pick(xs, i)
+}
+
+// lint:allow(panic-reach) — callers validate the index upstream
+pub fn justified(xs: &[f64]) -> f64 {
+    inner::pick(xs, 0)
+}
+
+pub fn safe(xs: &[f64]) -> f64 {
+    inner::pick_checked(xs, 0).unwrap_or(0.0)
+}

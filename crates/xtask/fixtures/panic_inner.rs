@@ -1,0 +1,11 @@
+//! Panic-reach fixture, private half (`crates/stats/src/inner.rs`).
+//! `pick` owns the panic site the pub API reaches transitively;
+//! `pick_checked` is the panic-free alternative.
+
+fn pick(xs: &[f64], i: usize) -> f64 {
+    *xs.get(i).unwrap()
+}
+
+fn pick_checked(xs: &[f64], i: usize) -> Option<f64> {
+    xs.get(i).copied()
+}

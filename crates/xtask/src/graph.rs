@@ -1,0 +1,1046 @@
+//! Workspace symbol table and interprocedural call graph.
+//!
+//! The per-file rules in [`crate::lint`] judge each token stream in
+//! isolation; the determinism contract of the pipeline is a *path*
+//! property ("no HashMap iteration reachable from a snapshot entry
+//! point"), so the graph rules need a whole-workspace view. This module
+//! extracts, per file, the function items (with their call sites and
+//! nondeterminism/panic facts) and struct definitions, then links calls
+//! across files by name with a same-file → same-crate → workspace
+//! preference. The resolution over-approximates — an unqualified method
+//! call links to every workspace function of that name — which is the
+//! right bias for a deny rule guarding reproducibility: a false edge
+//! can be suppressed with a reason, a missed real edge cannot be.
+//!
+//! Everything here is deterministic: files arrive sorted, functions are
+//! indexed in token order, candidate lists preserve file order, and no
+//! hash-ordered container is ever iterated.
+
+use crate::lexer::{Lexed, TokKind, Token};
+use crate::lint::{matching, test_mask};
+use std::collections::HashMap;
+
+/// An atomic nondeterminism or panic source observed inside one fn body.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FactKind {
+    /// Iteration over a `HashMap`/`HashSet`-typed binding or field.
+    HashIter,
+    /// A `SystemTime`/`Instant` mention (wall-clock dependence).
+    WallClock,
+    /// `std::env::var`/`vars`/`var_os` read.
+    EnvRead,
+    /// `available_parallelism` (machine-shape dependence).
+    AvailPar,
+    /// An unwrap/expect/panic!/unimplemented!/todo! site.
+    PanicSite,
+}
+
+impl FactKind {
+    pub fn describe(self) -> &'static str {
+        match self {
+            FactKind::HashIter => "HashMap/HashSet iteration",
+            FactKind::WallClock => "wall-clock read (Instant/SystemTime)",
+            FactKind::EnvRead => "environment read (std::env)",
+            FactKind::AvailPar => "available_parallelism",
+            FactKind::PanicSite => "panic site",
+        }
+    }
+}
+
+/// One fact, with the source line and the token that triggered it.
+#[derive(Debug, Clone)]
+pub struct Fact {
+    pub kind: FactKind,
+    pub line: u32,
+    pub detail: String,
+}
+
+/// One call site inside a fn body.
+#[derive(Debug, Clone)]
+pub struct Call {
+    /// Callee name (last path segment).
+    pub name: String,
+    /// Path segment immediately before the name (`Timeline::get` →
+    /// `Timeline`), with `Self` already rewritten to the impl type.
+    pub qualifier: Option<String>,
+    /// `true` for `.name(...)` receiver calls.
+    pub is_method: bool,
+    pub line: u32,
+}
+
+/// One function item in a file.
+#[derive(Debug, Clone)]
+pub struct FnDef {
+    pub name: String,
+    /// Enclosing `impl` type, when the fn is an associated item.
+    pub owner: Option<String>,
+    pub line: u32,
+    /// Unrestricted `pub` (not `pub(crate)`/`pub(super)`).
+    pub is_pub: bool,
+    pub calls: Vec<Call>,
+    pub facts: Vec<Fact>,
+    /// Idents ending in `Config` among the parameter types — drives the
+    /// fingerprint-completeness pairing.
+    pub config_params: Vec<String>,
+    /// Field names the body projects with `.field` — drives the
+    /// fingerprint-completeness field check.
+    pub field_accesses: Vec<String>,
+}
+
+/// One struct definition with its named fields.
+#[derive(Debug, Clone)]
+pub struct StructDef {
+    pub name: String,
+    pub line: u32,
+    pub fields: Vec<String>,
+    /// Fields whose declared type mentions `HashMap`/`HashSet`.
+    pub hash_fields: Vec<String>,
+}
+
+/// Everything the graph pass needs from one file.
+#[derive(Debug, Clone)]
+pub struct FileIndex {
+    pub rel: String,
+    pub crate_name: String,
+    pub fns: Vec<FnDef>,
+    pub structs: Vec<StructDef>,
+    /// `line -> rules` suppression table, copied from the lexer so the
+    /// graph rules can honour `lint:allow` at fact and entry sites.
+    pub suppressions: HashMap<u32, Vec<String>>,
+}
+
+impl FileIndex {
+    /// Whether `rule` is suppressed at `line` (same line or line above).
+    pub fn suppressed(&self, rule: &str, line: u32) -> bool {
+        [line, line.saturating_sub(1)].iter().any(|l| {
+            self.suppressions
+                .get(l)
+                .is_some_and(|rules| rules.iter().any(|r| r == rule || r == "all"))
+        })
+    }
+}
+
+/// Iterator methods whose call on a hash container is order-sensitive.
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "into_iter",
+    "into_keys",
+    "into_values",
+    "drain",
+];
+
+/// Keywords that look like calls when followed by `(`.
+const NON_CALL_KEYWORDS: &[&str] = &[
+    "if", "while", "for", "match", "return", "in", "as", "fn", "impl", "move", "loop", "else",
+    "let", "ref", "mut", "box", "await", "dyn", "where",
+];
+
+/// Indexes one classified source file: fn items with calls and facts,
+/// struct defs, and the suppression table.
+pub fn index_file(rel: &str, crate_name: &str, lexed: &Lexed) -> FileIndex {
+    let tokens = &lexed.tokens;
+    let mask = test_mask(tokens);
+
+    let impls = find_impl_ranges(tokens);
+    let structs = find_structs(tokens, &mask);
+    let raw_fns = find_fn_items(tokens, &mask);
+
+    let mut fns = Vec::new();
+    for (fi, item) in raw_fns.iter().enumerate() {
+        // Attribute body tokens to the *innermost* fn: skip sub-ranges
+        // belonging to fn items nested inside this one.
+        let nested: Vec<(usize, usize)> = raw_fns
+            .iter()
+            .enumerate()
+            .filter(|(oi, o)| *oi != fi && o.body.0 > item.body.0 && o.body.1 <= item.body.1)
+            .map(|(_, o)| o.body)
+            .collect();
+        let own: Vec<usize> = (item.body.0..=item.body.1)
+            .filter(|&i| !nested.iter().any(|&(s, e)| i >= s && i <= e))
+            .collect();
+
+        let owner = impls
+            .iter()
+            .filter(|(s, e, _)| item.body.0 > *s && item.body.1 <= *e)
+            .min_by_key(|(s, e, _)| e - s)
+            .map(|(_, _, name)| name.clone());
+
+        let hash_locals = collect_hash_locals(tokens, item, &own);
+        let hash_field_names: Vec<&str> = structs
+            .iter()
+            .flat_map(|s| s.hash_fields.iter().map(String::as_str))
+            .collect();
+
+        let calls = collect_calls(tokens, &own, owner.as_deref());
+        let mut facts = collect_facts(tokens, &mask, &own, &hash_locals, &hash_field_names);
+        facts.dedup_by_key(|f| (f.kind, f.line));
+
+        let mut field_accesses: Vec<String> = own
+            .iter()
+            .filter(|&&i| {
+                i > 0
+                    && tokens[i - 1].is_punct('.')
+                    && tokens[i].kind == TokKind::Ident
+                    && !tokens.get(i + 1).is_some_and(|t| t.is_punct('('))
+            })
+            .map(|&i| tokens[i].text.clone())
+            .collect();
+        field_accesses.sort();
+        field_accesses.dedup();
+
+        fns.push(FnDef {
+            name: item.name.clone(),
+            owner,
+            line: item.line,
+            is_pub: item.is_pub,
+            calls,
+            facts,
+            config_params: item.config_params.clone(),
+            field_accesses,
+        });
+    }
+
+    FileIndex {
+        rel: rel.to_string(),
+        crate_name: crate_name.to_string(),
+        fns,
+        structs,
+        suppressions: lexed.suppressions.clone(),
+    }
+}
+
+/// A fn item before body attribution: header facts + body token range.
+struct RawFn {
+    name: String,
+    line: u32,
+    is_pub: bool,
+    config_params: Vec<String>,
+    /// Token-index range of the parameter list `(...)`, inclusive.
+    params: (usize, usize),
+    /// Inclusive token-index range of the `{...}` body.
+    body: (usize, usize),
+}
+
+fn find_fn_items(tokens: &[Token], mask: &[bool]) -> Vec<RawFn> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        if mask[i] || !tokens[i].is_ident("fn") {
+            i += 1;
+            continue;
+        }
+        // `fn(` is a function-pointer type, not an item.
+        let Some(name_tok) = tokens.get(i + 1) else {
+            break;
+        };
+        if name_tok.kind != TokKind::Ident {
+            i += 1;
+            continue;
+        }
+        let is_pub = visibility_is_pub(tokens, i);
+        // Parameter list: first `(` after the name (skipping generics).
+        let mut p = i + 2;
+        while p < tokens.len() && !tokens[p].is_punct('(') && !tokens[p].is_punct('{') {
+            p += 1;
+        }
+        if !tokens.get(p).is_some_and(|t| t.is_punct('(')) {
+            i += 1;
+            continue;
+        }
+        let Some(params_end) = matching(tokens, p, '(', ')') else {
+            break;
+        };
+        let config_params: Vec<String> = tokens[p..params_end]
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident && t.text.ends_with("Config"))
+            .map(|t| t.text.clone())
+            .collect();
+        // Body: first `{` before any `;` (a `;` first means a bodyless
+        // trait-method declaration).
+        let mut b = params_end + 1;
+        let mut body = None;
+        while b < tokens.len() {
+            if tokens[b].is_punct(';') {
+                break;
+            }
+            if tokens[b].is_punct('{') {
+                body = matching(tokens, b, '{', '}').map(|e| (b, e));
+                break;
+            }
+            b += 1;
+        }
+        let Some(body) = body else {
+            i = b + 1;
+            continue;
+        };
+        out.push(RawFn {
+            name: name_tok.text.clone(),
+            line: name_tok.line,
+            is_pub,
+            config_params,
+            params: (p, params_end),
+            body,
+        });
+        // Continue *inside* the body so nested fn items are found too.
+        i += 2;
+    }
+    out
+}
+
+/// Whether the item whose `fn` keyword sits at `fn_idx` is unrestricted
+/// `pub`. Walks back over `const`/`async`/`unsafe`/`extern "C"`.
+fn visibility_is_pub(tokens: &[Token], fn_idx: usize) -> bool {
+    let mut j = fn_idx;
+    while j > 0 {
+        j -= 1;
+        let t = &tokens[j];
+        if t.kind == TokKind::Str
+            || t.is_ident("const")
+            || t.is_ident("async")
+            || t.is_ident("unsafe")
+            || t.is_ident("extern")
+        {
+            continue;
+        }
+        if t.is_punct(')') {
+            // `pub(crate)` / `pub(super)`: restricted, not public.
+            return false;
+        }
+        return t.is_ident("pub");
+    }
+    false
+}
+
+/// `impl` block ranges with their type names: `(start, end, type)`.
+/// `impl Trait for Type` records `Type`; generics are skipped.
+fn find_impl_ranges(tokens: &[Token]) -> Vec<(usize, usize, String)> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        if !tokens[i].is_ident("impl") {
+            i += 1;
+            continue;
+        }
+        // Header runs to the block opener.
+        let mut open = i + 1;
+        while open < tokens.len() && !tokens[open].is_punct('{') {
+            open += 1;
+        }
+        let Some(end) = matching(tokens, open, '{', '}') else {
+            break;
+        };
+        let header = &tokens[i + 1..open];
+        // The implemented type: the ident after `for` when present,
+        // else the first ident outside the generic parameter list.
+        let name = if let Some(fi) = header.iter().position(|t| t.is_ident("for")) {
+            header[fi + 1..]
+                .iter()
+                .find(|t| t.kind == TokKind::Ident)
+                .map(|t| t.text.clone())
+        } else {
+            let mut depth = 0i32;
+            let mut found = None;
+            for t in header {
+                if t.is_punct('<') {
+                    depth += 1;
+                } else if t.is_punct('>') {
+                    depth -= 1;
+                } else if depth == 0 && t.kind == TokKind::Ident && !t.is_ident("where") {
+                    found = Some(t.text.clone());
+                    break;
+                }
+            }
+            found
+        };
+        if let Some(name) = name {
+            out.push((open, end, name));
+        }
+        // Descend into the block (nested impls are legal).
+        i = open + 1;
+    }
+    out
+}
+
+/// Struct definitions with named fields (tuple structs are skipped —
+/// they have no field names to check).
+fn find_structs(tokens: &[Token], mask: &[bool]) -> Vec<StructDef> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i + 1 < tokens.len() {
+        if mask[i] || !tokens[i].is_ident("struct") || tokens[i + 1].kind != TokKind::Ident {
+            i += 1;
+            continue;
+        }
+        let name = tokens[i + 1].text.clone();
+        let line = tokens[i + 1].line;
+        // Find the field block, skipping generics/where; `(` or `;`
+        // first means a tuple/unit struct.
+        let mut b = i + 2;
+        let mut depth = 0i32;
+        let mut open = None;
+        while b < tokens.len() {
+            let t = &tokens[b];
+            if t.is_punct('<') {
+                depth += 1;
+            } else if t.is_punct('>') && !(b > 0 && tokens[b - 1].is_punct('-')) {
+                depth -= 1;
+            } else if depth == 0 && (t.is_punct(';') || t.is_punct('(')) {
+                break;
+            } else if depth == 0 && t.is_punct('{') {
+                open = Some(b);
+                break;
+            }
+            b += 1;
+        }
+        let Some(open) = open else {
+            i = b + 1;
+            continue;
+        };
+        let Some(end) = matching(tokens, open, '{', '}') else {
+            break;
+        };
+        let mut fields = Vec::new();
+        let mut hash_fields = Vec::new();
+        let mut depth = 0i32;
+        let mut j = open + 1;
+        while j < end {
+            let t = &tokens[j];
+            if t.is_punct('{') || t.is_punct('(') || t.is_punct('[') || t.is_punct('<') {
+                depth += 1;
+            } else if t.is_punct('}') || t.is_punct(')') || t.is_punct(']') || t.is_punct('>') {
+                depth -= 1;
+            } else if depth == 0
+                && t.kind == TokKind::Ident
+                && tokens.get(j + 1).is_some_and(|n| n.is_punct(':'))
+                && !tokens.get(j + 2).is_some_and(|n| n.is_punct(':'))
+            {
+                fields.push(t.text.clone());
+                // The field's type runs to the next depth-0 comma.
+                let mut k = j + 2;
+                let mut tdepth = 0i32;
+                let mut hashy = false;
+                while k < end {
+                    let tt = &tokens[k];
+                    if tt.is_punct('<') || tt.is_punct('(') || tt.is_punct('[') {
+                        tdepth += 1;
+                    } else if tt.is_punct('>') || tt.is_punct(')') || tt.is_punct(']') {
+                        tdepth -= 1;
+                    } else if tdepth == 0 && tt.is_punct(',') {
+                        break;
+                    }
+                    if tt.is_ident("HashMap") || tt.is_ident("HashSet") {
+                        hashy = true;
+                    }
+                    k += 1;
+                }
+                if hashy {
+                    hash_fields.push(t.text.clone());
+                }
+                j = k;
+                continue;
+            }
+            j += 1;
+        }
+        out.push(StructDef {
+            name,
+            line,
+            fields,
+            hash_fields,
+        });
+        i = end + 1;
+    }
+    out
+}
+
+/// Local bindings and parameters of hash-container type, by name.
+fn collect_hash_locals(tokens: &[Token], item: &RawFn, own: &[usize]) -> Vec<String> {
+    let mut out = Vec::new();
+    // Parameters: `name: ...HashMap<...>` inside the param list.
+    let (open, close) = item.params;
+    let mut j = open + 1;
+    while j < close {
+        if tokens[j].kind == TokKind::Ident
+            && tokens.get(j + 1).is_some_and(|t| t.is_punct(':'))
+            && !tokens.get(j + 2).is_some_and(|t| t.is_punct(':'))
+        {
+            let name = tokens[j].text.clone();
+            let mut k = j + 2;
+            let mut depth = 0i32;
+            let mut hashy = false;
+            while k < close {
+                let tt = &tokens[k];
+                if tt.is_punct('<') || tt.is_punct('(') {
+                    depth += 1;
+                } else if tt.is_punct('>') || tt.is_punct(')') {
+                    depth -= 1;
+                } else if depth == 0 && tt.is_punct(',') {
+                    break;
+                }
+                if tt.is_ident("HashMap") || tt.is_ident("HashSet") {
+                    hashy = true;
+                }
+                k += 1;
+            }
+            if hashy {
+                out.push(name);
+            }
+            j = k;
+            continue;
+        }
+        j += 1;
+    }
+    // Locals: `let [mut] name [: ...Hash{Map,Set}...] = ...` and
+    // `let [mut] name = Hash{Map,Set}::...`.
+    for (pos, &i) in own.iter().enumerate() {
+        if !tokens[i].is_ident("let") {
+            continue;
+        }
+        let mut j = pos + 1;
+        if own.get(j).is_some_and(|&k| tokens[k].is_ident("mut")) {
+            j += 1;
+        }
+        let Some(&name_idx) = own.get(j) else {
+            continue;
+        };
+        if tokens[name_idx].kind != TokKind::Ident {
+            continue;
+        }
+        let name = tokens[name_idx].text.clone();
+        // Scan to the `=` or `;`, looking for a hash type on the way
+        // (annotation) or right after the `=` (constructor).
+        let mut hashy = false;
+        let mut seen_eq = false;
+        let mut budget = 40;
+        for &k in own.iter().skip(j + 1) {
+            if budget == 0 {
+                break;
+            }
+            budget -= 1;
+            let t = &tokens[k];
+            if t.is_punct(';') {
+                break;
+            }
+            if t.is_punct('=') && !seen_eq {
+                seen_eq = true;
+                // Only peek a few tokens into the initializer.
+                budget = budget.min(4);
+                continue;
+            }
+            if t.is_ident("HashMap") || t.is_ident("HashSet") {
+                hashy = true;
+                break;
+            }
+        }
+        if hashy {
+            out.push(name);
+        }
+    }
+    out
+}
+
+fn collect_calls(tokens: &[Token], own: &[usize], owner: Option<&str>) -> Vec<Call> {
+    let mut out = Vec::new();
+    for &i in own {
+        if tokens[i].kind != TokKind::Ident
+            || !tokens.get(i + 1).is_some_and(|t| t.is_punct('('))
+            || NON_CALL_KEYWORDS.contains(&tokens[i].text.as_str())
+        {
+            continue;
+        }
+        // A definition (`fn name(`) is not a call of `name`.
+        if i > 0 && tokens[i - 1].is_ident("fn") {
+            continue;
+        }
+        let is_method = i > 0 && tokens[i - 1].is_punct('.');
+        let qualifier = if i >= 3
+            && tokens[i - 1].is_punct(':')
+            && tokens[i - 2].is_punct(':')
+            && tokens[i - 3].kind == TokKind::Ident
+        {
+            let q = tokens[i - 3].text.as_str();
+            Some(if q == "Self" {
+                owner.unwrap_or(q).to_string()
+            } else {
+                q.to_string()
+            })
+        } else {
+            None
+        };
+        out.push(Call {
+            name: tokens[i].text.clone(),
+            qualifier,
+            is_method,
+            line: tokens[i].line,
+        });
+    }
+    out
+}
+
+fn collect_facts(
+    tokens: &[Token],
+    mask: &[bool],
+    own: &[usize],
+    hash_locals: &[String],
+    hash_fields: &[&str],
+) -> Vec<Fact> {
+    let mut out = Vec::new();
+    for &i in own {
+        if mask[i] || tokens[i].kind != TokKind::Ident {
+            continue;
+        }
+        let t = &tokens[i];
+        let name = t.text.as_str();
+        let next_paren = tokens.get(i + 1).is_some_and(|n| n.is_punct('('));
+        let next_bang = tokens.get(i + 1).is_some_and(|n| n.is_punct('!'));
+        let prev_dot = i > 0 && tokens[i - 1].is_punct('.');
+        let prev_colons = i >= 2 && tokens[i - 1].is_punct(':') && tokens[i - 2].is_punct(':');
+
+        match name {
+            "Instant" | "SystemTime" => out.push(Fact {
+                kind: FactKind::WallClock,
+                line: t.line,
+                detail: name.to_string(),
+            }),
+            "available_parallelism" => out.push(Fact {
+                kind: FactKind::AvailPar,
+                line: t.line,
+                detail: name.to_string(),
+            }),
+            "var" | "vars" | "var_os" if prev_colons && i >= 3 && tokens[i - 3].is_ident("env") => {
+                out.push(Fact {
+                    kind: FactKind::EnvRead,
+                    line: t.line,
+                    detail: format!("env::{name}"),
+                })
+            }
+            "unwrap" | "expect" if prev_dot && next_paren => out.push(Fact {
+                kind: FactKind::PanicSite,
+                line: t.line,
+                detail: format!(".{name}()"),
+            }),
+            "panic" | "unimplemented" | "todo" if next_bang => out.push(Fact {
+                kind: FactKind::PanicSite,
+                line: t.line,
+                detail: format!("{name}!"),
+            }),
+            _ => {}
+        }
+
+        // Hash iteration: `name.iter()`-style on a known hash binding or
+        // a `.field.iter()`-style projection of a hash-typed field.
+        let known_local = !prev_dot && hash_locals.iter().any(|l| l == name);
+        let known_field = prev_dot && hash_fields.contains(&name);
+        if (known_local || known_field)
+            && tokens.get(i + 1).is_some_and(|n| n.is_punct('.'))
+            && tokens
+                .get(i + 2)
+                .is_some_and(|n| ITER_METHODS.contains(&n.text.as_str()))
+            && tokens.get(i + 3).is_some_and(|n| n.is_punct('('))
+        {
+            out.push(Fact {
+                kind: FactKind::HashIter,
+                line: t.line,
+                detail: format!("`{}.{}()`", name, tokens[i + 2].text),
+            });
+        }
+
+        // `for pat in [&[mut]] path {`: iterating the container itself.
+        if t.is_ident("in") {
+            let mut j = i + 1;
+            let mut last_ident: Option<usize> = None;
+            let mut budget = 12;
+            while let Some(n) = tokens.get(j) {
+                if budget == 0 || n.is_punct('{') || n.is_punct(';') || n.is_punct('(') {
+                    break;
+                }
+                if n.kind == TokKind::Ident && !n.is_ident("mut") {
+                    last_ident = Some(j);
+                }
+                j += 1;
+                budget -= 1;
+            }
+            if let Some(li) = last_ident {
+                let n = &tokens[li];
+                let proj = li > 0 && tokens[li - 1].is_punct('.');
+                let hits = (!proj && hash_locals.iter().any(|l| l == &n.text))
+                    || (proj && hash_fields.contains(&n.text.as_str()));
+                if hits {
+                    out.push(Fact {
+                        kind: FactKind::HashIter,
+                        line: n.line,
+                        detail: format!("`for .. in {}`", n.text),
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Call graph over all files.
+// ---------------------------------------------------------------------
+
+/// A function's global id paired with the call-site line of the edge.
+pub type Edge = (usize, u32);
+
+/// The linked workspace call graph.
+pub struct CallGraph<'a> {
+    pub files: &'a [FileIndex],
+    /// Global fn id → `(file index, fn index within file)`.
+    pub fns: Vec<(usize, usize)>,
+    /// Forward adjacency: resolved callees per fn.
+    pub edges: Vec<Vec<Edge>>,
+}
+
+impl<'a> CallGraph<'a> {
+    pub fn build(files: &'a [FileIndex]) -> Self {
+        let mut fns = Vec::new();
+        let mut by_name: HashMap<&str, Vec<usize>> = HashMap::new();
+        for (fi, file) in files.iter().enumerate() {
+            for (di, def) in file.fns.iter().enumerate() {
+                by_name.entry(&def.name).or_default().push(fns.len());
+                fns.push((fi, di));
+            }
+        }
+
+        let mut edges = Vec::with_capacity(fns.len());
+        for &(fi, di) in &fns {
+            let def = &files[fi].fns[di];
+            let mut out: Vec<Edge> = Vec::new();
+            for call in &def.calls {
+                let Some(cands) = by_name.get(call.name.as_str()) else {
+                    continue;
+                };
+                let resolved = resolve(files, &fns, cands, call, fi);
+                for id in resolved {
+                    if !out.iter().any(|&(e, _)| e == id) {
+                        out.push((id, call.line));
+                    }
+                }
+            }
+            edges.push(out);
+        }
+        CallGraph { files, fns, edges }
+    }
+
+    pub fn def(&self, id: usize) -> &FnDef {
+        let (fi, di) = self.fns[id];
+        &self.files[fi].fns[di]
+    }
+
+    pub fn file(&self, id: usize) -> &FileIndex {
+        &self.files[self.fns[id].0]
+    }
+
+    /// BFS from `entries`; returns, per fn, `Some(parent)` when
+    /// reachable (`parent == (self, 0)` for the entries themselves).
+    pub fn reach(&self, entries: &[usize]) -> Vec<Option<Edge>> {
+        let mut parent: Vec<Option<Edge>> = vec![None; self.fns.len()];
+        let mut queue = std::collections::VecDeque::new();
+        for &e in entries {
+            if parent[e].is_none() {
+                parent[e] = Some((e, 0));
+                queue.push_back(e);
+            }
+        }
+        while let Some(u) = queue.pop_front() {
+            for &(v, line) in &self.edges[u] {
+                if parent[v].is_none() {
+                    parent[v] = Some((u, line));
+                    queue.push_back(v);
+                }
+            }
+        }
+        parent
+    }
+
+    /// The call chain from the entry down to `id`, as
+    /// `"name (file:line)"` strings, given a parent forest from
+    /// [`CallGraph::reach`].
+    pub fn chain_to(&self, parent: &[Option<Edge>], id: usize) -> Vec<String> {
+        let mut rev = Vec::new();
+        let mut cur = id;
+        loop {
+            let def = self.def(cur);
+            rev.push(format!(
+                "{} ({}:{})",
+                self.display_name(cur),
+                self.file(cur).rel,
+                def.line
+            ));
+            match parent[cur] {
+                Some((p, _)) if p != cur => cur = p,
+                _ => break,
+            }
+        }
+        rev.reverse();
+        rev
+    }
+
+    /// `Owner::name` for associated fns, bare `name` otherwise.
+    pub fn display_name(&self, id: usize) -> String {
+        let def = self.def(id);
+        match &def.owner {
+            Some(o) => format!("{}::{}", o, def.name),
+            None => def.name.clone(),
+        }
+    }
+}
+
+/// Resolves one call against same-named candidates. Qualified calls
+/// must match the qualifier (impl-type name, file stem, or crate name);
+/// a qualified call matching nothing is treated as external. Bare calls
+/// prefer same-file, then same-crate, then everything; method calls
+/// over-approximate to every candidate.
+fn resolve(
+    files: &[FileIndex],
+    fns: &[(usize, usize)],
+    cands: &[usize],
+    call: &Call,
+    caller_file: usize,
+) -> Vec<usize> {
+    if let Some(q) = &call.qualifier {
+        let stem = snake_of(q);
+        return cands
+            .iter()
+            .copied()
+            .filter(|&id| {
+                let (fi, di) = fns[id];
+                let def = &files[fi].fns[di];
+                def.owner.as_deref() == Some(q.as_str())
+                    || file_stem(&files[fi].rel) == stem
+                    || q.strip_prefix("logdep_").unwrap_or(q) == files[fi].crate_name
+            })
+            .collect();
+    }
+    if call.is_method {
+        return cands.to_vec();
+    }
+    let same_file: Vec<usize> = cands
+        .iter()
+        .copied()
+        .filter(|&id| fns[id].0 == caller_file)
+        .collect();
+    if !same_file.is_empty() {
+        return same_file;
+    }
+    let crate_name = &files[caller_file].crate_name;
+    let same_crate: Vec<usize> = cands
+        .iter()
+        .copied()
+        .filter(|&id| &files[fns[id].0].crate_name == crate_name)
+        .collect();
+    if !same_crate.is_empty() {
+        return same_crate;
+    }
+    cands.to_vec()
+}
+
+fn file_stem(rel: &str) -> String {
+    rel.rsplit('/')
+        .next()
+        .unwrap_or(rel)
+        .trim_end_matches(".rs")
+        .to_string()
+}
+
+/// `Timeline` → `timeline`, `EvidenceCache` → `evidence_cache`: lets a
+/// `Type::fn` qualifier match the module file named after the type.
+fn snake_of(name: &str) -> String {
+    let mut out = String::new();
+    for (i, c) in name.chars().enumerate() {
+        if c.is_ascii_uppercase() {
+            if i > 0 {
+                out.push('_');
+            }
+            out.push(c.to_ascii_lowercase());
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn index(rel: &str, src: &str) -> FileIndex {
+        let crate_name = rel.split('/').nth(1).unwrap_or("core").to_string();
+        index_file(rel, &crate_name, &lex(src))
+    }
+
+    #[test]
+    fn extracts_fns_with_visibility_and_owner() {
+        let src = r#"
+            pub fn free() {}
+            pub(crate) fn restricted() {}
+            struct T;
+            impl T {
+                pub fn method(&self) { helper(); }
+                fn helper() {}
+            }
+        "#;
+        let idx = index("crates/core/src/x.rs", src);
+        let names: Vec<(&str, bool)> = idx
+            .fns
+            .iter()
+            .map(|f| (f.name.as_str(), f.is_pub))
+            .collect();
+        assert_eq!(
+            names,
+            vec![
+                ("free", true),
+                ("restricted", false),
+                ("method", true),
+                ("helper", false)
+            ]
+        );
+        assert_eq!(idx.fns[2].owner.as_deref(), Some("T"));
+        assert_eq!(idx.fns[2].calls.len(), 1);
+        assert_eq!(idx.fns[2].calls[0].name, "helper");
+    }
+
+    #[test]
+    fn nested_fn_bodies_are_not_double_attributed() {
+        let src = r#"
+            fn outer() {
+                fn inner() { x.unwrap(); }
+                inner();
+            }
+        "#;
+        let idx = index("crates/core/src/x.rs", src);
+        let outer = idx.fns.iter().find(|f| f.name == "outer").unwrap();
+        let inner = idx.fns.iter().find(|f| f.name == "inner").unwrap();
+        assert!(outer.facts.is_empty(), "outer owns inner's panic site");
+        assert_eq!(inner.facts.len(), 1);
+        assert_eq!(inner.facts[0].kind, FactKind::PanicSite);
+    }
+
+    #[test]
+    fn hash_iteration_facts_require_iteration_not_lookup() {
+        let src = r#"
+            use std::collections::HashMap;
+            fn lookup_only(index: &HashMap<u32, u32>) -> Option<u32> {
+                index.get(&1).copied()
+            }
+            fn iterates() {
+                let mut counts: HashMap<u32, u32> = HashMap::new();
+                counts.insert(1, 2);
+                for (k, v) in counts.iter() { let _ = (k, v); }
+            }
+            fn for_loop_over_local() {
+                let set = HashSet::new();
+                for x in &set { drop(x); }
+            }
+        "#;
+        let idx = index("crates/core/src/x.rs", src);
+        let lookup = idx.fns.iter().find(|f| f.name == "lookup_only").unwrap();
+        assert!(
+            !lookup.facts.iter().any(|f| f.kind == FactKind::HashIter),
+            "lookups must not count as iteration: {:?}",
+            lookup.facts
+        );
+        let iterates = idx.fns.iter().find(|f| f.name == "iterates").unwrap();
+        assert!(iterates.facts.iter().any(|f| f.kind == FactKind::HashIter));
+        let floop = idx
+            .fns
+            .iter()
+            .find(|f| f.name == "for_loop_over_local")
+            .unwrap();
+        assert!(floop.facts.iter().any(|f| f.kind == FactKind::HashIter));
+    }
+
+    #[test]
+    fn struct_fields_and_hash_fields_are_collected() {
+        let src = r#"
+            pub struct Conf {
+                pub alpha: f64,
+                pub names: Vec<String>,
+                cache: HashMap<u64, u64>,
+            }
+            struct Tuple(u32);
+        "#;
+        let idx = index("crates/core/src/x.rs", src);
+        assert_eq!(idx.structs.len(), 1, "tuple structs skipped");
+        assert_eq!(idx.structs[0].fields, vec!["alpha", "names", "cache"]);
+        assert_eq!(idx.structs[0].hash_fields, vec!["cache"]);
+    }
+
+    #[test]
+    fn wallclock_env_and_parallelism_facts() {
+        let src = r#"
+            fn timed() { let t = Instant::now(); drop(t); }
+            fn env_read() { let v = std::env::var("X"); drop(v); }
+            fn shape() { let n = std::thread::available_parallelism(); drop(n); }
+        "#;
+        let idx = index("crates/core/src/x.rs", src);
+        let kinds: Vec<FactKind> = idx
+            .fns
+            .iter()
+            .flat_map(|f| f.facts.iter().map(|x| x.kind))
+            .collect();
+        assert_eq!(
+            kinds,
+            vec![FactKind::WallClock, FactKind::EnvRead, FactKind::AvailPar]
+        );
+    }
+
+    #[test]
+    fn cross_file_resolution_prefers_same_crate() {
+        let a = index("crates/core/src/a.rs", "pub fn entry() { shared(); }\n");
+        let b = index("crates/core/src/b.rs", "pub fn shared() {}\n");
+        let c = index("crates/stats/src/c.rs", "pub fn shared() {}\n");
+        let files = vec![a, b, c];
+        let g = CallGraph::build(&files);
+        let entry = (0..g.fns.len())
+            .find(|&i| g.def(i).name == "entry")
+            .unwrap();
+        let callees: Vec<&str> = g.edges[entry]
+            .iter()
+            .map(|&(id, _)| g.file(id).crate_name.as_str())
+            .collect();
+        assert_eq!(callees, vec!["core"], "same-crate candidate wins");
+    }
+
+    #[test]
+    fn qualified_external_calls_do_not_link() {
+        let a = index(
+            "crates/core/src/a.rs",
+            "pub fn entry() { std::mem::replace(&mut 1, 2); }\n",
+        );
+        let b = index("crates/core/src/b.rs", "pub fn replace() {}\n");
+        let files = vec![a, b];
+        let g = CallGraph::build(&files);
+        let entry = (0..g.fns.len())
+            .find(|&i| g.def(i).name == "entry")
+            .unwrap();
+        assert!(
+            g.edges[entry].is_empty(),
+            "std::mem::replace must not link to a workspace fn"
+        );
+    }
+
+    #[test]
+    fn reach_produces_full_chain() {
+        let a = index("crates/core/src/a.rs", "pub fn top() { mid(); }\n");
+        let b = index("crates/core/src/b.rs", "pub fn mid() { leaf(); }\n");
+        let c = index("crates/core/src/c.rs", "pub fn leaf() {}\n");
+        let files = vec![a, b, c];
+        let g = CallGraph::build(&files);
+        let top = (0..g.fns.len()).find(|&i| g.def(i).name == "top").unwrap();
+        let leaf = (0..g.fns.len()).find(|&i| g.def(i).name == "leaf").unwrap();
+        let parent = g.reach(&[top]);
+        assert!(parent[leaf].is_some());
+        let chain = g.chain_to(&parent, leaf);
+        assert_eq!(chain.len(), 3);
+        assert!(chain[0].starts_with("top ("));
+        assert!(chain[2].starts_with("leaf ("));
+    }
+}

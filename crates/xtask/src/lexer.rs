@@ -59,6 +59,19 @@ pub struct Lexed {
     /// `line -> rules` from `// lint:allow(a, b)` comment markers. The
     /// special name `all` suppresses every rule.
     pub suppressions: HashMap<u32, Vec<String>>,
+    /// Lines whose `lint:allow(...)` marker carries no justification
+    /// text after the closing paren — fodder for the `bare-allow` rule.
+    pub bare_allows: Vec<u32>,
+}
+
+/// Whether the text after a `lint:allow(...)` marker's closing paren is
+/// a justification. Leading separator punctuation (`—`, `--`, `:`) is
+/// cosmetic; what must follow is at least one word of prose.
+fn has_reason(after: &str) -> bool {
+    after
+        .trim_start_matches(|c: char| c.is_whitespace() || matches!(c, '—' | '–' | '-' | ':' | ','))
+        .chars()
+        .any(|c| c.is_alphanumeric())
 }
 
 /// Lexes `src` into tokens plus suppression markers.
@@ -148,6 +161,9 @@ impl Lexer {
                     .map(|r| r.trim().to_string())
                     .filter(|r| !r.is_empty())
                     .collect();
+                if !has_reason(&rest[end + 1..]) {
+                    self.out.bare_allows.push(self.line);
+                }
                 self.out
                     .suppressions
                     .entry(self.line)
@@ -422,6 +438,19 @@ mod tests {
             lexed.suppressions.get(&2),
             Some(&vec!["rule-a".to_string(), "rule-b".to_string()])
         );
+    }
+
+    #[test]
+    fn bare_allows_are_distinguished_from_reasoned_ones() {
+        let lexed = lex(concat!(
+            "a(); // lint:allow(rule-a)\n",
+            "b(); // lint:allow(rule-b) — bounds checked above\n",
+            "c(); // lint:allow(rule-c) -- legacy reason style\n",
+            "d(); // lint:allow(rule-d) —\n",
+        ));
+        assert_eq!(lexed.bare_allows, vec![1, 4]);
+        // Bare markers still populate the suppression table.
+        assert!(lexed.suppressions.contains_key(&1));
     }
 
     #[test]

@@ -13,7 +13,9 @@
 //! carry a justification, e.g.
 //! `// lint:allow(no-panic-in-lib) — length checked by constructor`.
 
+use crate::graph::FileIndex;
 use crate::lexer::{lex, Lexed, TokKind, Token};
+use logdep_par::{par_map, ParConfig};
 use std::collections::HashSet;
 
 /// Diagnostic severity. `Deny` violations fail `cargo xtask lint`.
@@ -55,6 +57,24 @@ const LIB_CRATES: &[&str] = &[
     "faults",
     "par",
 ];
+
+/// Every scoped crate — the bare-allow hygiene rule has no exemptions.
+const ALL_CRATES: &[&str] = &[
+    "core",
+    "stats",
+    "logstore",
+    "textmatch",
+    "sessions",
+    "simulator",
+    "faults",
+    "par",
+    "cli",
+    "bench",
+];
+
+/// Marker scope for the graph rules, which run once over the whole
+/// indexed workspace (in [`lint_workspace`]) rather than per file.
+const WORKSPACE: &[&str] = &["workspace"];
 
 /// Crates that must route all threading through `logdep-par`: every
 /// library crate except `par` itself (the one place allowed to touch
@@ -124,6 +144,33 @@ pub const RULES: &[RuleInfo] = &[
                   prefer the merge-sweep kernels or sorted-run merges",
         scope: &["core", "logstore"],
     },
+    RuleInfo {
+        name: "bare-allow",
+        severity: Severity::Deny,
+        summary: "lint:allow(..) without a justification after the closing paren; \
+                  append `— why this is sound`",
+        scope: ALL_CRATES,
+    },
+    RuleInfo {
+        name: "nondeterminism-taint",
+        severity: Severity::Deny,
+        summary: "call path from a snapshot/cache entry point to HashMap iteration, \
+                  wall-clock, env, or available_parallelism outside their sanctioned homes",
+        scope: WORKSPACE,
+    },
+    RuleInfo {
+        name: "fingerprint-completeness",
+        severity: Severity::Deny,
+        summary: "a *Config struct field never folded by its *_fingerprint fn; \
+                  the evidence cache would replay stale entries",
+        scope: WORKSPACE,
+    },
+    RuleInfo {
+        name: "panic-reach",
+        severity: Severity::Deny,
+        summary: "pub library API that transitively calls into an unsuppressed panic site",
+        scope: WORKSPACE,
+    },
 ];
 
 /// Looks up a rule by name.
@@ -140,6 +187,9 @@ pub struct Diagnostic {
     pub file: String,
     pub line: u32,
     pub message: String,
+    /// For graph rules: the entry-point → violation call chain, as
+    /// `"name (file:line)"` strings. Empty for per-file rules.
+    pub chain: Vec<String>,
 }
 
 /// Classification of a workspace source file by its repo-relative path.
@@ -162,7 +212,9 @@ pub fn classify(rel: &str) -> FileScope {
 }
 
 /// Lints one file's source text. `rel` is the repo-relative path used
-/// both for scope classification and in diagnostics.
+/// both for scope classification and in diagnostics. Runs the per-file
+/// rules only; the graph rules need [`lint_workspace`].
+#[cfg_attr(not(test), allow(dead_code))]
 pub fn lint_source(rel: &str, src: &str) -> Vec<Diagnostic> {
     let scope = classify(rel);
     let crate_name = match &scope {
@@ -171,6 +223,39 @@ pub fn lint_source(rel: &str, src: &str) -> Vec<Diagnostic> {
     };
     let lexed = lex(src);
     lint_tokens(rel, &crate_name, &lexed)
+}
+
+/// Lints the whole workspace: the per-file rules run over every file in
+/// parallel (via the same `logdep-par` pool the pipeline uses), each
+/// file also yielding its symbol-table slice; the graph rules then run
+/// once over the assembled [`FileIndex`] set. Diagnostics come back
+/// sorted by `(file, line, rule)`.
+pub fn lint_workspace(files: &[(String, String)], par: &ParConfig) -> Vec<Diagnostic> {
+    let per_file: Vec<(Option<FileIndex>, Vec<Diagnostic>)> =
+        par_map(par, files, |(rel, src)| match classify(rel) {
+            FileScope::CrateSrc(crate_name) => {
+                let lexed = lex(src);
+                let diags = lint_tokens(rel, &crate_name, &lexed);
+                let index = crate::graph::index_file(rel, &crate_name, &lexed);
+                (Some(index), diags)
+            }
+            FileScope::Unscoped => (None, Vec::new()),
+        });
+
+    let mut diags = Vec::new();
+    let mut indexes = Vec::new();
+    for (index, file_diags) in per_file {
+        diags.extend(file_diags);
+        if let Some(index) = index {
+            indexes.push(index);
+        }
+    }
+    diags.extend(crate::taint::graph_rules(&indexes));
+
+    let mut seen = HashSet::new();
+    diags.retain(|d| seen.insert((d.rule, d.file.clone(), d.line)));
+    diags.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    diags
 }
 
 fn applies(info: &RuleInfo, crate_name: &str) -> bool {
@@ -195,6 +280,7 @@ fn lint_tokens(rel: &str, crate_name: &str, lexed: &Lexed) -> Vec<Diagnostic> {
             "silent-drop" => silent_drop(tokens, &mask),
             "raw-thread-spawn" => raw_thread_spawn(tokens, &mask),
             "hot-sort" => hot_sort(rel, crate_name, tokens, &mask),
+            "bare-allow" => bare_allow(lexed),
             _ => Vec::new(),
         };
         for (line, message) in found {
@@ -204,18 +290,21 @@ fn lint_tokens(rel: &str, crate_name: &str, lexed: &Lexed) -> Vec<Diagnostic> {
                 file: rel.to_string(),
                 line,
                 message,
+                chain: Vec::new(),
             });
         }
     }
 
     // Drop duplicates (e.g. a sort_by comparator that also unwraps) and
-    // suppressed findings, then order by position.
+    // suppressed findings, then order by position. `bare-allow` is
+    // exempt from suppression — a reasonless marker must not be able to
+    // wave itself through.
     let mut seen = HashSet::new();
     diags.retain(|d| {
         if !seen.insert((d.rule, d.line)) {
             return false;
         }
-        !suppressed(lexed, d.rule, d.line)
+        d.rule == "bare-allow" || !suppressed(lexed, d.rule, d.line)
     });
     diags.sort_by_key(|d| (d.line, d.rule));
     diags
@@ -235,7 +324,7 @@ fn suppressed(lexed: &Lexed, rule: &str, line: u32) -> bool {
 /// Marks token ranges belonging to test code: any item annotated with an
 /// attribute containing the `test` identifier (`#[test]`, `#[cfg(test)]`,
 /// `#[cfg(all(test, ...))]`) — but not `#[cfg(not(test))]`.
-fn test_mask(tokens: &[Token]) -> Vec<bool> {
+pub(crate) fn test_mask(tokens: &[Token]) -> Vec<bool> {
     let mut mask = vec![false; tokens.len()];
     let mut i = 0;
     while i < tokens.len() {
@@ -288,7 +377,12 @@ fn test_mask(tokens: &[Token]) -> Vec<bool> {
 }
 
 /// Index of the closer matching the opener at `open_idx`.
-fn matching(tokens: &[Token], open_idx: usize, open: char, close: char) -> Option<usize> {
+pub(crate) fn matching(
+    tokens: &[Token],
+    open_idx: usize,
+    open: char,
+    close: char,
+) -> Option<usize> {
     let mut depth = 0usize;
     for (i, t) in tokens.iter().enumerate().skip(open_idx) {
         if t.is_punct(open) {
@@ -712,6 +806,22 @@ fn hot_sort(rel: &str, crate_name: &str, tokens: &[Token], mask: &[bool]) -> Vec
         }
     }
     out
+}
+
+/// Suppression markers that carry no justification. The marker still
+/// suppresses its target rule — but the missing reason is itself a deny,
+/// so the tree cannot accumulate unexplained escapes.
+fn bare_allow(lexed: &Lexed) -> Vec<(u32, String)> {
+    lexed
+        .bare_allows
+        .iter()
+        .map(|&line| {
+            (
+                line,
+                "lint:allow without a justification; append `— <why this is sound>`".to_string(),
+            )
+        })
+        .collect()
 }
 
 #[cfg(test)]

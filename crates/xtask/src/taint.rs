@@ -1,0 +1,251 @@
+//! The graph-based rules: nondeterminism taint, interprocedural panic
+//! reach, and cache-fingerprint completeness.
+//!
+//! All three consume the [`crate::graph`] symbol table. Taint and
+//! panic-reach are reachability passes over the call graph; fingerprint
+//! completeness is a field-set comparison between a `*Config` struct
+//! and the body of its `*_fingerprint` fn. Diagnostics carry the full
+//! entry-point → violation call chain so a deny is actionable without
+//! re-deriving the path by hand.
+
+use crate::graph::{CallGraph, FactKind, FileIndex};
+use crate::lint::{Diagnostic, Severity};
+
+/// Crates whose non-test code participates in the panic-reach pass —
+/// the same set `no-panic-in-lib` guards.
+const LIB_CRATES: &[&str] = &[
+    "core",
+    "stats",
+    "logstore",
+    "textmatch",
+    "sessions",
+    "simulator",
+    "faults",
+    "par",
+];
+
+/// Runs all graph rules over the indexed workspace.
+pub fn graph_rules(files: &[FileIndex]) -> Vec<Diagnostic> {
+    let graph = CallGraph::build(files);
+    let mut out = Vec::new();
+    out.extend(nondeterminism_taint(&graph));
+    out.extend(panic_reach(&graph));
+    out.extend(fingerprint_completeness(files));
+    out
+}
+
+/// Whether fn `id` is a snapshot/serialization/cache entry point: the
+/// pipeline driver, any pub fn in the cache or windowed-cache modules,
+/// or a pub `summarize*`/`snapshot*` fn.
+fn is_taint_entry(graph: &CallGraph, id: usize) -> bool {
+    let def = graph.def(id);
+    let file = graph.file(id);
+    if file.crate_name == "core" && def.name == "run_pipeline" {
+        return true;
+    }
+    if def.is_pub
+        && (file.rel.ends_with("crates/core/src/cache.rs")
+            || file.rel.ends_with("crates/core/src/window.rs"))
+    {
+        return true;
+    }
+    def.is_pub && (def.name.starts_with("summarize") || def.name.starts_with("snapshot"))
+}
+
+/// Whether a nondeterminism fact of `kind` is sanctioned where it sits.
+/// `DetectorHealth` timing lives in `crates/core/src/health.rs`; env
+/// reads and hardware introspection belong to the `par` config layer.
+fn fact_allowed(kind: FactKind, file: &FileIndex) -> bool {
+    match kind {
+        FactKind::WallClock => file.rel.ends_with("crates/core/src/health.rs"),
+        FactKind::EnvRead | FactKind::AvailPar => file.crate_name == "par",
+        FactKind::HashIter => false,
+        FactKind::PanicSite => true, // handled by panic-reach, not taint
+    }
+}
+
+fn nondeterminism_taint(graph: &CallGraph) -> Vec<Diagnostic> {
+    let entries: Vec<usize> = (0..graph.fns.len())
+        .filter(|&id| is_taint_entry(graph, id))
+        .collect();
+    let parent = graph.reach(&entries);
+
+    let mut out = Vec::new();
+    for id in 0..graph.fns.len() {
+        if parent[id].is_none() {
+            continue;
+        }
+        let def = graph.def(id);
+        let file = graph.file(id);
+        for fact in &def.facts {
+            if fact.kind == FactKind::PanicSite
+                || fact_allowed(fact.kind, file)
+                || file.suppressed("nondeterminism-taint", fact.line)
+            {
+                continue;
+            }
+            let chain = graph.chain_to(&parent, id);
+            let entry = chain.first().cloned().unwrap_or_default();
+            out.push(Diagnostic {
+                rule: "nondeterminism-taint",
+                severity: Severity::Deny,
+                file: file.rel.clone(),
+                line: fact.line,
+                message: format!(
+                    "{} {} is reachable from snapshot entry point {}; path: {}",
+                    fact.kind.describe(),
+                    fact.detail,
+                    entry,
+                    chain.join(" → "),
+                ),
+                chain,
+            });
+        }
+    }
+    out
+}
+
+fn panic_reach(graph: &CallGraph) -> Vec<Diagnostic> {
+    let n = graph.fns.len();
+    // A fn "panics locally" when it owns an unsuppressed panic site in a
+    // lib crate; sites justified for no-panic-in-lib are trusted here
+    // too — the justification covers every caller.
+    let panics_locally: Vec<bool> = (0..n)
+        .map(|id| {
+            let file = graph.file(id);
+            LIB_CRATES.contains(&file.crate_name.as_str())
+                && graph.def(id).facts.iter().any(|f| {
+                    f.kind == FactKind::PanicSite
+                        && !file.suppressed("no-panic-in-lib", f.line)
+                        && !file.suppressed("panic-reach", f.line)
+                })
+        })
+        .collect();
+
+    // Fixed point: can_panic[u] = panics_locally[u] || any callee can.
+    let mut can_panic = panics_locally.clone();
+    let mut rev: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (u, edges) in graph.edges.iter().enumerate() {
+        for &(v, _) in edges {
+            rev[v].push(u);
+        }
+    }
+    let mut work: Vec<usize> = (0..n).filter(|&id| can_panic[id]).collect();
+    while let Some(v) = work.pop() {
+        for &u in &rev[v] {
+            if !can_panic[u] {
+                can_panic[u] = true;
+                work.push(u);
+            }
+        }
+    }
+
+    let mut out = Vec::new();
+    for id in 0..n {
+        let def = graph.def(id);
+        let file = graph.file(id);
+        if !def.is_pub
+            || !LIB_CRATES.contains(&file.crate_name.as_str())
+            || panics_locally[id]      // the direct case is no-panic-in-lib's
+            || !can_panic[id]
+            || file.suppressed("panic-reach", def.line)
+        {
+            continue;
+        }
+        // Shortest path from this API to a panicking fn, for the chain.
+        let parent = graph.reach(&[id]);
+        let Some(target) = (0..n)
+            .filter(|&t| panics_locally[t] && parent[t].is_some())
+            .min_by_key(|&t| chain_len(&parent, t))
+        else {
+            continue;
+        };
+        let chain = graph.chain_to(&parent, target);
+        let site = graph
+            .def(target)
+            .facts
+            .iter()
+            .find(|f| f.kind == FactKind::PanicSite)
+            .map(|f| format!("{} at {}:{}", f.detail, graph.file(target).rel, f.line))
+            .unwrap_or_default();
+        out.push(Diagnostic {
+            rule: "panic-reach",
+            severity: Severity::Deny,
+            file: file.rel.clone(),
+            line: def.line,
+            message: format!(
+                "pub fn {} can reach a panic ({site}); path: {}",
+                graph.display_name(id),
+                chain.join(" → "),
+            ),
+            chain,
+        });
+    }
+    out
+}
+
+fn chain_len(parent: &[Option<(usize, u32)>], mut cur: usize) -> usize {
+    let mut len = 0;
+    while let Some((p, _)) = parent[cur] {
+        if p == cur {
+            break;
+        }
+        cur = p;
+        len += 1;
+    }
+    len
+}
+
+/// Pairs every `*_fingerprint(cfg: &XConfig, ..)` fn with the struct
+/// `XConfig` and denies any struct field the body never projects — the
+/// cache would serve stale evidence when that field changes.
+fn fingerprint_completeness(files: &[FileIndex]) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for file in files {
+        for def in &file.fns {
+            if !def.name.ends_with("_fingerprint") {
+                continue;
+            }
+            let Some(cfg_type) = def.config_params.first() else {
+                continue;
+            };
+            // Prefer a same-crate struct definition, else any.
+            let found = files
+                .iter()
+                .filter(|f| f.crate_name == file.crate_name)
+                .chain(files.iter())
+                .flat_map(|f| f.structs.iter().map(move |s| (f, s)))
+                .find(|(_, s)| &s.name == cfg_type);
+            let Some((struct_file, strukt)) = found else {
+                continue;
+            };
+            let missing: Vec<&str> = strukt
+                .fields
+                .iter()
+                .filter(|f| !def.field_accesses.iter().any(|a| a == *f))
+                .map(String::as_str)
+                .collect();
+            if missing.is_empty() || file.suppressed("fingerprint-completeness", def.line) {
+                continue;
+            }
+            out.push(Diagnostic {
+                rule: "fingerprint-completeness",
+                severity: Severity::Deny,
+                file: file.rel.clone(),
+                line: def.line,
+                message: format!(
+                    "{} never folds {} field{} `{}` ({} defined at {}:{}); a change there would silently replay stale cached evidence",
+                    def.name,
+                    cfg_type,
+                    if missing.len() == 1 { "" } else { "s" },
+                    missing.join("`, `"),
+                    cfg_type,
+                    struct_file.rel,
+                    strukt.line,
+                ),
+                chain: Vec::new(),
+            });
+        }
+    }
+    out
+}
