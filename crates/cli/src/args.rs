@@ -46,19 +46,22 @@ impl std::fmt::Display for ArgError {
 impl std::error::Error for ArgError {}
 
 impl Args {
-    /// Parses `argv` (without the program name).
+    /// Parses `argv` (without the program name). A flag followed by
+    /// another `--flag` (or by nothing) is a boolean switch and gets
+    /// the value `"true"`, so `--resume` needs no explicit operand.
     pub fn parse(argv: &[String]) -> Result<Self, ArgError> {
-        let mut it = argv.iter();
+        let mut it = argv.iter().peekable();
         let command = it.next().ok_or(ArgError::NoCommand)?.clone();
         let mut flags = BTreeMap::new();
         while let Some(token) = it.next() {
             let key = token
                 .strip_prefix("--")
                 .ok_or_else(|| ArgError::UnexpectedPositional(token.clone()))?;
-            let value = it
-                .next()
-                .ok_or_else(|| ArgError::MissingValue(key.to_owned()))?;
-            flags.insert(key.to_owned(), value.clone());
+            let value = match it.peek() {
+                Some(next) if !next.starts_with("--") => it.next().cloned().unwrap_or_default(),
+                _ => "true".to_owned(),
+            };
+            flags.insert(key.to_owned(), value);
         }
         Ok(Self { command, flags })
     }
@@ -122,10 +125,6 @@ mod tests {
     fn error_cases() {
         assert_eq!(Args::parse(&[]), Err(ArgError::NoCommand));
         assert!(matches!(
-            Args::parse(&argv(&["l3", "--logs"])),
-            Err(ArgError::MissingValue(_))
-        ));
-        assert!(matches!(
             Args::parse(&argv(&["l3", "oops"])),
             Err(ArgError::UnexpectedPositional(_))
         ));
@@ -134,6 +133,25 @@ mod tests {
             a.required("logs"),
             Err(ArgError::Required("logs"))
         ));
+    }
+
+    #[test]
+    fn boolean_switches_need_no_operand() {
+        // Trailing switch.
+        let a = Args::parse(&argv(&["daily", "--steps", "2", "--resume"])).unwrap();
+        assert_eq!(a.optional("resume"), Some("true"));
+        assert!(a.parsed_or("resume", false).unwrap());
+        // Switch followed by another flag.
+        let a = Args::parse(&argv(&["daily", "--resume", "--steps", "2"])).unwrap();
+        assert_eq!(a.optional("resume"), Some("true"));
+        assert_eq!(a.parsed_or::<i64>("steps", 1).unwrap(), 2);
+        // An explicit operand still wins.
+        let a = Args::parse(&argv(&["daily", "--resume", "false"])).unwrap();
+        assert!(!a.parsed_or("resume", true).unwrap());
+        // A value-bearing flag left dangling degrades to "true", which
+        // then fails the flag's own parse, not the whole command line.
+        let a = Args::parse(&argv(&["l3", "--logs"])).unwrap();
+        assert_eq!(a.optional("logs"), Some("true"));
     }
 
     #[test]

@@ -2,13 +2,17 @@
 
 use crate::args::Args;
 use logdep::cache::EvidenceCache;
+use logdep::durable::{
+    persist_atomic, repair_store, run_daily_durable, verify_store, DailyPlan, NoopPolicy,
+    RecoveryEvent,
+};
 use logdep::evolution::app_service_churn;
 use logdep::graph::DependencyGraph;
 use logdep::health::PipelineConfig;
 use logdep::l1::{run_l1_pool, L1Config};
 use logdep::l2::{run_l2_pool, L2Config};
 use logdep::l3::{run_l3, run_l3_pool, L3Config};
-use logdep::window::run_window_cached;
+use logdep::window::{run_window_cached, WindowOutcome};
 use logdep::AppServiceModel;
 use logdep_faults::{inject as inject_faults, FaultConfig};
 use logdep_logstore::codec::write_store;
@@ -35,8 +39,9 @@ commands:
   l3        --logs LOGS.tsv --directory DIR.xml [--stop-patterns FILE --days N
             --threads N]
   daily     --logs LOGS.tsv [--directory DIR.xml --window-days N --start-day N
-            --advance-days N --steps N --cache CACHE.json --minlogs N
+            --advance-days N --steps N --cache CACHE.ck --resume --minlogs N
             --threads N]
+  cache     verify --cache CACHE.ck | repair --cache CACHE.ck
   sessions  --logs LOGS.tsv
   templates --logs LOGS.tsv --source APP [--support N]
   churn     --before A.tsv --after B.tsv --directory DIR.xml
@@ -50,7 +55,13 @@ commands:
 
 --threads N sets the mining worker-pool width (1 = the serial path;
 results are identical at every width). Without the flag the
-LOGDEP_THREADS environment variable decides, then the hardware.";
+LOGDEP_THREADS environment variable decides, then the hardware.
+
+With --cache the daily advance is crash-safe: every completed step is
+journaled, the checkpoint is replaced atomically, and --resume picks a
+killed run up from its last completed step. `cache verify` checks every
+checksum read-only (exit 1 on corruption); `cache repair` quarantines
+damage and rewrites a clean checkpoint.";
 
 type CmdResult = Result<(), Box<dyn Error>>;
 
@@ -232,11 +243,41 @@ pub fn l3(args: &Args, out: &mut dyn Write) -> CmdResult {
     Ok(())
 }
 
+/// One advance step's summary line, shared by the in-memory and the
+/// durable `daily` paths (tests parse this shape).
+fn window_line(day_start: i64, day_end: i64, outcome: &WindowOutcome) -> String {
+    format!(
+        "window days {day_start}..{day_end}: L1 {} pairs, L2 {} pairs, L3 {} deps \
+         (cache: {} hits, {} misses)",
+        outcome.l1.as_ref().map_or(0, |r| r.detected.len()),
+        outcome.l2.as_ref().map_or(0, |r| r.detected.len()),
+        outcome.l3.as_ref().map_or(0, |r| r.detected.len()),
+        outcome.stats.hits(),
+        outcome.stats.misses()
+    )
+}
+
+/// Renders recovery events: corruption as a warning, the rest as notes.
+fn write_events(out: &mut dyn Write, path: &str, events: &[RecoveryEvent]) -> CmdResult {
+    for e in events {
+        if e.corruption {
+            writeln!(out, "warning: cache {path}: {}: {}", e.code, e.detail)?;
+        } else {
+            writeln!(out, "cache {path}: {}: {}", e.code, e.detail)?;
+        }
+    }
+    Ok(())
+}
+
 /// `logdep daily` — the "around the clock" operation of §1.2: mine a
 /// sliding window, advance it, and let the persistent evidence cache
 /// skip everything the slide left unchanged. With `--cache FILE` the
-/// cache survives process restarts (the nightly-cron deployment);
-/// without it the advance steps still share the in-memory cache.
+/// cache survives process restarts (the nightly-cron deployment)
+/// crash-safely: completed steps are journaled, the checkpoint is
+/// replaced atomically, a damaged file degrades to a (partial) cold
+/// start instead of failing the run, and `--resume` continues a killed
+/// run from its last completed step. Without `--cache` the advance
+/// steps still share the in-memory cache.
 pub fn daily(args: &Args, out: &mut dyn Write) -> CmdResult {
     let store = load_logs(args.required("logs")?)?;
     let window_days: i64 = args.parsed_or("window-days", 7)?;
@@ -246,6 +287,7 @@ pub fn daily(args: &Args, out: &mut dyn Write) -> CmdResult {
     if window_days <= 0 || advance_days <= 0 || steps <= 0 {
         return Err("--window-days, --advance-days and --steps must be positive".into());
     }
+    let resume: bool = args.parsed_or("resume", false)?;
 
     let ids = match args.optional("directory") {
         Some(path) => load_directory(path)?,
@@ -266,41 +308,131 @@ pub fn daily(args: &Args, out: &mut dyn Write) -> CmdResult {
         par: par_config(args)?,
     };
 
-    let cache_path = args.optional("cache").map(str::to_owned);
-    let mut cache = match &cache_path {
-        Some(path) if std::path::Path::new(path).exists() => {
-            let text = std::fs::read_to_string(path).map_err(|e| format!("open {path:?}: {e}"))?;
-            let loaded =
-                EvidenceCache::from_json(&text).map_err(|e| format!("cache {path}: {e}"))?;
-            writeln!(out, "loaded cache {path} ({} entries)", loaded.len())?;
-            loaded
+    let Some(cache_path) = args.optional("cache").map(str::to_owned) else {
+        if resume {
+            return Err("--resume needs --cache (nothing persists without one)".into());
         }
-        _ => EvidenceCache::new(),
+        let mut cache = EvidenceCache::new();
+        for step in 0..steps {
+            let start = Millis::from_days(start_day + step * advance_days);
+            let window = TimeRange::new(start, Millis(start.0 + window_days * MS_PER_DAY));
+            let outcome = run_window_cached(&store, window, &ids, &cfg, &mut cache)?;
+            let d0 = start_day + step * advance_days;
+            writeln!(out, "{}", window_line(d0, d0 + window_days, &outcome))?;
+        }
+        return Ok(());
     };
 
-    for step in 0..steps {
-        let start = Millis::from_days(start_day + step * advance_days);
-        let window = TimeRange::new(start, Millis(start.0 + window_days * MS_PER_DAY));
-        let outcome = run_window_cached(&store, window, &ids, &cfg, &mut cache)?;
-        let stats = outcome.stats;
+    let plan = DailyPlan {
+        start_day,
+        window_days,
+        advance_days,
+        steps: u64::try_from(steps).unwrap_or(1),
+    };
+    let path = std::path::Path::new(&cache_path);
+    let existed = path.exists();
+    let mut step_lines: Vec<String> = Vec::new();
+    let report = run_daily_durable(
+        &store,
+        &ids,
+        &cfg,
+        &plan,
+        path,
+        resume,
+        &mut NoopPolicy,
+        &mut |step, outcome| {
+            let w = plan.window(step);
+            step_lines.push(window_line(
+                w.start.0.div_euclid(MS_PER_DAY),
+                w.end.0.div_euclid(MS_PER_DAY),
+                outcome,
+            ));
+        },
+    )
+    .map_err(|e| format!("cache {cache_path}: {e}"))?;
+
+    write_events(out, &cache_path, &report.events)?;
+    if existed {
         writeln!(
             out,
-            "window days {}..{}: L1 {} pairs, L2 {} pairs, L3 {} deps \
-             (cache: {} hits, {} misses)",
-            start_day + step * advance_days,
-            start_day + step * advance_days + window_days,
-            outcome.l1.as_ref().map_or(0, |r| r.detected.len()),
-            outcome.l2.as_ref().map_or(0, |r| r.detected.len()),
-            outcome.l3.as_ref().map_or(0, |r| r.detected.len()),
-            stats.hits(),
-            stats.misses()
+            "loaded cache {cache_path} ({} entries)",
+            report.loaded_entries
         )?;
     }
-
-    if let Some(path) = &cache_path {
-        std::fs::write(path, cache.to_json()?).map_err(|e| format!("write {path:?}: {e}"))?;
-        writeln!(out, "saved cache {path} ({} entries)", cache.len())?;
+    if report.resumed_from > 0 {
+        writeln!(
+            out,
+            "resumed from step {} of {}",
+            report.resumed_from, plan.steps
+        )?;
     }
+    for line in &step_lines {
+        writeln!(out, "{line}")?;
+    }
+    if report.steps_run == 0 {
+        // Fully resumed: the final window was recomputed from cache
+        // hits for the report; show it so the run is never silent.
+        let w = plan.window(plan.steps);
+        writeln!(
+            out,
+            "{}",
+            window_line(
+                w.start.0.div_euclid(MS_PER_DAY),
+                w.end.0.div_euclid(MS_PER_DAY),
+                &report.final_outcome
+            )
+        )?;
+    }
+    if report.checkpointed {
+        writeln!(
+            out,
+            "saved cache {cache_path} ({} entries)",
+            report.cache_entries
+        )?;
+    } else {
+        writeln!(
+            out,
+            "cache {cache_path} up to date ({} entries)",
+            report.cache_entries
+        )?;
+    }
+    Ok(())
+}
+
+/// `logdep cache verify` — read-only checksum verification of a durable
+/// evidence store; exits non-zero when any corruption is detected.
+pub fn cache_verify(args: &Args, out: &mut dyn Write) -> CmdResult {
+    let cache_path = args.required("cache")?;
+    let report = verify_store(std::path::Path::new(cache_path))?;
+    write_events(out, cache_path, &report.events)?;
+    writeln!(
+        out,
+        "cache {cache_path}: {} entries, completed step {}, {} journal records",
+        report.cache_entries, report.completed, report.journal_records
+    )?;
+    if report.clean() {
+        writeln!(out, "verify: clean")?;
+        Ok(())
+    } else {
+        Err(format!(
+            "verify: corruption detected in {cache_path} \
+             (run `logdep cache repair --cache {cache_path}`)"
+        )
+        .into())
+    }
+}
+
+/// `logdep cache repair` — quarantine damaged regions, replay the
+/// journal's intact prefix, and rewrite a clean checkpoint atomically.
+pub fn cache_repair(args: &Args, out: &mut dyn Write) -> CmdResult {
+    let cache_path = args.required("cache")?;
+    let report = repair_store(std::path::Path::new(cache_path))?;
+    write_events(out, cache_path, &report.events)?;
+    writeln!(
+        out,
+        "repaired cache {cache_path}: {} entries, completed step {}",
+        report.cache_entries, report.completed
+    )?;
     Ok(())
 }
 
@@ -450,9 +582,9 @@ pub fn inject(args: &Args, out: &mut dyn Write) -> CmdResult {
     let injection = inject_faults(&store, &cfg);
     std::fs::write(out_path, &injection.tsv).map_err(|e| format!("write {out_path:?}: {e}"))?;
     if let Some(ledger_path) = args.optional("ledger") {
-        std::fs::write(
-            ledger_path,
-            serde_json::to_string_pretty(&injection.ledger)?,
+        persist_atomic(
+            std::path::Path::new(ledger_path),
+            serde_json::to_string_pretty(&injection.ledger)?.as_bytes(),
         )
         .map_err(|e| format!("write {ledger_path:?}: {e}"))?;
     }

@@ -11,7 +11,9 @@
 //! logdep l3 --logs logs.tsv --directory dir.xml [--stop-patterns p.txt]
 //! logdep l2 --logs logs.tsv [--timeout 1000]
 //! logdep l1 --logs logs.tsv [--minlogs 25]
-//! logdep daily --logs logs.tsv --cache cache.json [--window-days 7 --steps 2]
+//! logdep daily --logs logs.tsv --cache cache.ck [--window-days 7 --steps 2 --resume]
+//! logdep cache verify --cache cache.ck
+//! logdep cache repair --cache cache.ck
 //! logdep sessions --logs logs.tsv
 //! logdep templates --logs logs.tsv --source AppName
 //! logdep churn --before a.tsv --after b.tsv --directory dir.xml
@@ -28,6 +30,18 @@ use std::io::Write;
 
 /// Runs the CLI against parsed argv; returns the process exit code.
 pub fn run(argv: &[String], out: &mut dyn Write) -> i32 {
+    // `cache verify` / `cache repair` are two-token subcommands; fold
+    // the pair into one token before parsing.
+    let folded: Vec<String>;
+    let argv = match (argv.first(), argv.get(1)) {
+        (Some(cmd), Some(sub)) if cmd.as_str() == "cache" && !sub.starts_with("--") => {
+            let mut v = vec![format!("cache-{sub}")];
+            v.extend(argv.iter().skip(2).cloned());
+            folded = v;
+            folded.as_slice()
+        }
+        _ => argv,
+    };
     let args = match Args::parse(argv) {
         Ok(a) => a,
         Err(e) => {
@@ -47,6 +61,8 @@ pub fn run(argv: &[String], out: &mut dyn Write) -> i32 {
         "impact" => commands::impact(&args, out),
         "inject" => commands::inject(&args, out),
         "ingest" => commands::ingest(&args, out),
+        "cache-verify" => commands::cache_verify(&args, out),
+        "cache-repair" => commands::cache_repair(&args, out),
         "help" | "--help" | "-h" => {
             let _ = writeln!(out, "{}", commands::HELP);
             Ok(())

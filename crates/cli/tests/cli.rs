@@ -445,3 +445,140 @@ fn daily_window_advances_with_a_persistent_cache() {
     assert_eq!(code, 1);
     assert!(out.contains("positive"), "{out}");
 }
+
+#[test]
+fn corrupt_cache_file_degrades_to_cold_start() {
+    let dir = TempDir::new("corrupt-cache");
+    let (logs, directory) = simulated(&dir);
+    let cache = dir.path("cache.ck");
+    // Garbage where the checkpoint should be (e.g. a pre-durable-format
+    // JSON dump, or torn storage) must not fail the run.
+    std::fs::write(&cache, b"{\"not\": \"a checkpoint\"}").expect("plant garbage");
+    let (code, out) = run(&[
+        "daily",
+        "--logs",
+        &logs,
+        "--directory",
+        &directory,
+        "--window-days",
+        "1",
+        "--cache",
+        &cache,
+    ]);
+    assert_eq!(code, 0, "corrupt cache failed the run: {out}");
+    assert!(out.contains("warning:"), "no corruption warning: {out}");
+    assert!(out.contains("cache: 0 hits"), "not a cold start: {out}");
+    assert!(out.contains("saved cache"), "{out}");
+    // The damage is ledgered and the wreck quarantined for forensics.
+    let ledger = std::fs::read_to_string(format!("{cache}.ledger")).expect("ledger written");
+    assert!(ledger.contains("\"corruption\":true"), "{ledger}");
+    assert!(
+        std::fs::metadata(format!("{cache}.quarantine")).is_ok(),
+        "no quarantine file"
+    );
+    // And the freshly saved cache is clean again.
+    let (code, out) = run(&["cache", "verify", "--cache", &cache]);
+    assert_eq!(code, 0, "{out}");
+    assert!(out.contains("verify: clean"), "{out}");
+}
+
+#[test]
+fn cache_verify_then_repair_heals_a_damaged_checkpoint() {
+    let dir = TempDir::new("verify-repair");
+    let (logs, directory) = simulated(&dir);
+    let cache = dir.path("cache.ck");
+    let (code, out) = run(&[
+        "daily",
+        "--logs",
+        &logs,
+        "--directory",
+        &directory,
+        "--window-days",
+        "1",
+        "--cache",
+        &cache,
+    ]);
+    assert_eq!(code, 0, "{out}");
+
+    // Flip one byte in the middle of the checkpoint.
+    let mut bytes = std::fs::read(&cache).expect("checkpoint bytes");
+    let mid = bytes.len() / 2;
+    if let Some(b) = bytes.get_mut(mid) {
+        *b ^= 0x40;
+    }
+    std::fs::write(&cache, &bytes).expect("plant damage");
+
+    let (code, out) = run(&["cache", "verify", "--cache", &cache]);
+    assert_eq!(code, 1, "verify missed the damage: {out}");
+    assert!(out.contains("corruption detected"), "{out}");
+
+    let (code, out) = run(&["cache", "repair", "--cache", &cache]);
+    assert_eq!(code, 0, "{out}");
+    assert!(out.contains("repaired cache"), "{out}");
+
+    let (code, out) = run(&["cache", "verify", "--cache", &cache]);
+    assert_eq!(code, 0, "repair left corruption behind: {out}");
+    assert!(out.contains("verify: clean"), "{out}");
+}
+
+#[test]
+fn daily_resume_skips_completed_steps() {
+    let dir = TempDir::new("resume");
+    let logs = dir.path("logs.tsv");
+    let directory = dir.path("dir.xml");
+    let (code, out) = run(&[
+        "simulate",
+        "--out",
+        &logs,
+        "--directory",
+        &directory,
+        "--days",
+        "2",
+        "--seed",
+        "5",
+        "--scale",
+        "0.15",
+    ]);
+    assert_eq!(code, 0, "simulate failed: {out}");
+
+    let cache = dir.path("cache.ck");
+    let daily = |extra: &[&str]| {
+        let mut args = vec![
+            "daily",
+            "--logs",
+            &logs,
+            "--directory",
+            &directory,
+            "--window-days",
+            "1",
+            "--steps",
+            "2",
+            "--cache",
+            &cache,
+        ];
+        args.extend_from_slice(extra);
+        run(&args)
+    };
+    let (code, first) = daily(&[]);
+    assert_eq!(code, 0, "{first}");
+    assert!(first.contains("saved cache"), "{first}");
+    let before = std::fs::read(&cache).expect("checkpoint");
+
+    // A completed run resumed is a no-op: nothing re-runs, nothing is
+    // rewritten, but the final window is still reported.
+    let (code, resumed) = daily(&["--resume"]);
+    assert_eq!(code, 0, "{resumed}");
+    assert!(resumed.contains("resumed from step 2 of 2"), "{resumed}");
+    assert!(resumed.contains("window days"), "{resumed}");
+    assert!(resumed.contains("up to date"), "{resumed}");
+    assert_eq!(
+        std::fs::read(&cache).expect("checkpoint"),
+        before,
+        "a fully-resumed run rewrote the checkpoint"
+    );
+
+    // --resume without --cache is a usage error.
+    let (code, out) = run(&["daily", "--logs", &logs, "--resume"]);
+    assert_eq!(code, 1, "{out}");
+    assert!(out.contains("--cache"), "{out}");
+}

@@ -31,6 +31,9 @@ pub enum DetectorKind {
     L2,
     /// Technique L3: directory citations.
     L3,
+    /// The durable evidence store (recovery/corruption standing of the
+    /// persisted cache, reported by the crash-safe `daily` driver).
+    Store,
 }
 
 impl std::fmt::Display for DetectorKind {
@@ -39,6 +42,7 @@ impl std::fmt::Display for DetectorKind {
             DetectorKind::L1 => write!(f, "L1"),
             DetectorKind::L2 => write!(f, "L2"),
             DetectorKind::L3 => write!(f, "L3"),
+            DetectorKind::Store => write!(f, "Store"),
         }
     }
 }

@@ -60,6 +60,7 @@
 
 pub mod baselines;
 pub mod cache;
+pub mod durable;
 pub mod ensemble;
 pub mod error;
 pub mod eval;
@@ -73,6 +74,11 @@ pub mod model;
 pub mod window;
 
 pub use cache::{run_l1_cached, run_l1_slots_cached, CacheStats, EvidenceCache, EvidenceKey};
+pub use durable::{
+    persist_atomic, plan_signature, repair_store, run_daily_durable, verify_store, DailyPlan,
+    DailyReport, DurableError, DurableOp, DurableStore, NoopPolicy, RecoveryEvent, StoreReport,
+    WriteDecision, WritePolicy,
+};
 pub use error::{MineError, Result};
 pub use graph::DependencyGraph;
 pub use health::{run_pipeline, DetectorHealth, DetectorKind, PipelineConfig, PipelineOutcome};

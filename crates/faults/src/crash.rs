@@ -1,0 +1,217 @@
+//! Byte-level corruption primitives and the crash-point counter for
+//! durability testing.
+//!
+//! The other modules of this crate damage *log streams*; this one
+//! damages *persisted state*. A process killed mid-write leaves one of
+//! three observable wrecks behind: a torn file (only a prefix landed),
+//! a truncated file (the tail never made it to the platter), or a
+//! bit-flipped file (sector damage, or a buffer written from a
+//! corrupted page). [`corrupt_bytes`] reproduces each deterministically
+//! from a seed, and [`CrashPoint`] counts durable writes so a harness
+//! can abort "at the Kth write" and sweep every K.
+//!
+//! ```
+//! use logdep_faults::crash::{corrupt_bytes, CrashPoint, Corruption};
+//!
+//! let original = b"SEG 0 5 42\nhello\n".to_vec();
+//! let torn = corrupt_bytes(&original, Corruption::TornPrefix, 7);
+//! assert!(torn.len() < original.len(), "a torn write is a strict prefix");
+//! assert_eq!(&original[..torn.len()], &torn[..]);
+//!
+//! // Same seed, same damage — the whole point.
+//! assert_eq!(torn, corrupt_bytes(&original, Corruption::TornPrefix, 7));
+//!
+//! let mut crash = CrashPoint::at(2);
+//! assert!(!crash.strike(), "first write proceeds");
+//! assert!(crash.strike(), "second write is the crash");
+//! assert!(!crash.strike(), "later writes never fire again");
+//! ```
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The ways a durable write can be damaged by a crash or by storage rot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Corruption {
+    /// Only a strict prefix of the bytes landed (a torn write).
+    TornPrefix,
+    /// One bit of the payload flipped (sector/page damage).
+    BitFlip,
+    /// Between one byte and the whole tail was cut off.
+    TruncateTail,
+}
+
+impl Corruption {
+    /// Every corruption mode, for exhaustive sweeps.
+    pub const ALL: [Corruption; 3] = [
+        Corruption::TornPrefix,
+        Corruption::BitFlip,
+        Corruption::TruncateTail,
+    ];
+
+    /// Stable name for reports and ledgers.
+    pub fn name(self) -> &'static str {
+        match self {
+            Corruption::TornPrefix => "torn-prefix",
+            Corruption::BitFlip => "bit-flip",
+            Corruption::TruncateTail => "truncate-tail",
+        }
+    }
+}
+
+impl std::fmt::Display for Corruption {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// SplitMix64 finalizer — decorrelates seed/stage pairs (same idiom as
+/// the stream injector's staging).
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn rng_for(seed: u64, stage: u64) -> StdRng {
+    StdRng::seed_from_u64(splitmix(seed ^ splitmix(stage)))
+}
+
+/// Applies one deterministic corruption to `bytes`. Every mode is
+/// guaranteed to return something *different* from the input (the
+/// contract the "every corruption is detected" proptests rely on),
+/// except on empty input, which is returned unchanged — there is
+/// nothing to damage.
+pub fn corrupt_bytes(bytes: &[u8], kind: Corruption, seed: u64) -> Vec<u8> {
+    if bytes.is_empty() {
+        return Vec::new();
+    }
+    let mut rng = rng_for(
+        seed,
+        match kind {
+            Corruption::TornPrefix => 101,
+            Corruption::BitFlip => 102,
+            Corruption::TruncateTail => 103,
+        },
+    );
+    match kind {
+        Corruption::TornPrefix => {
+            // Keep a strict prefix: anywhere from nothing to all-but-one.
+            let keep = rng.gen_range(0..bytes.len());
+            bytes.get(..keep).map(<[u8]>::to_vec).unwrap_or_default()
+        }
+        Corruption::BitFlip => {
+            let mut out = bytes.to_vec();
+            let pos = rng.gen_range(0..out.len());
+            let bit = rng.gen_range(0..8u32);
+            if let Some(b) = out.get_mut(pos) {
+                *b ^= 1u8 << bit;
+            }
+            out
+        }
+        Corruption::TruncateTail => {
+            let cut = rng.gen_range(1..=bytes.len());
+            let keep = bytes.len() - cut;
+            bytes.get(..keep).map(<[u8]>::to_vec).unwrap_or_default()
+        }
+    }
+}
+
+/// Counts durable writes and fires exactly once, at the Kth one —
+/// the deterministic "kill -9 at write K" a crash-recovery sweep
+/// iterates over. Write indices are 1-based; `CrashPoint::at(0)`
+/// never fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashPoint {
+    target: u64,
+    seen: u64,
+}
+
+impl CrashPoint {
+    /// A crash scheduled at the `k`th durable write (1-based).
+    pub fn at(k: u64) -> Self {
+        Self { target: k, seen: 0 }
+    }
+
+    /// Records one durable write; returns `true` exactly when this
+    /// write is the scheduled crash.
+    pub fn strike(&mut self) -> bool {
+        self.seen = self.seen.saturating_add(1);
+        self.target != 0 && self.seen == self.target
+    }
+
+    /// Number of durable writes observed so far.
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corruption_is_deterministic_and_always_differs() {
+        let bytes: Vec<u8> = (0u8..=255).cycle().take(4_000).collect();
+        for kind in Corruption::ALL {
+            for seed in 0..50u64 {
+                let a = corrupt_bytes(&bytes, kind, seed);
+                let b = corrupt_bytes(&bytes, kind, seed);
+                assert_eq!(a, b, "{kind} seed {seed} not deterministic");
+                assert_ne!(a, bytes, "{kind} seed {seed} left the bytes intact");
+            }
+        }
+    }
+
+    #[test]
+    fn torn_and_truncated_outputs_are_strict_prefixes() {
+        let bytes = b"0123456789abcdef".to_vec();
+        for seed in 0..64u64 {
+            for kind in [Corruption::TornPrefix, Corruption::TruncateTail] {
+                let out = corrupt_bytes(&bytes, kind, seed);
+                assert!(out.len() < bytes.len(), "{kind}: not shorter");
+                assert_eq!(&bytes[..out.len()], &out[..], "{kind}: not a prefix");
+            }
+        }
+    }
+
+    #[test]
+    fn bit_flip_changes_exactly_one_bit() {
+        let bytes = vec![0u8; 257];
+        for seed in 0..64u64 {
+            let out = corrupt_bytes(&bytes, Corruption::BitFlip, seed);
+            assert_eq!(out.len(), bytes.len());
+            let flipped: u32 = out
+                .iter()
+                .zip(&bytes)
+                .map(|(a, b)| (a ^ b).count_ones())
+                .sum();
+            assert_eq!(flipped, 1, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn empty_input_is_untouched() {
+        for kind in Corruption::ALL {
+            assert!(corrupt_bytes(&[], kind, 9).is_empty());
+        }
+    }
+
+    #[test]
+    fn crash_point_fires_exactly_once() {
+        let mut c = CrashPoint::at(3);
+        let fired: Vec<bool> = (0..6).map(|_| c.strike()).collect();
+        assert_eq!(fired, vec![false, false, true, false, false, false]);
+        assert_eq!(c.seen(), 6);
+        let mut never = CrashPoint::at(0);
+        assert!((0..10).all(|_| !never.strike()));
+    }
+
+    #[test]
+    fn display_names_are_stable() {
+        assert_eq!(Corruption::TornPrefix.to_string(), "torn-prefix");
+        assert_eq!(Corruption::BitFlip.to_string(), "bit-flip");
+        assert_eq!(Corruption::TruncateTail.to_string(), "truncate-tail");
+    }
+}

@@ -40,9 +40,11 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod crash;
 pub mod inject;
 pub mod ledger;
 
 pub use config::FaultConfig;
+pub use crash::{corrupt_bytes, Corruption, CrashPoint};
 pub use inject::{inject, inject_records, Injection};
 pub use ledger::{BlackoutWindow, CorruptionCounts, FaultLedger};

@@ -1,0 +1,23 @@
+// Fixture for the non-atomic-persist rule: raw fs::write/File::create
+// aimed at persistent-state paths. Lines 6, 7 and 8 are findings; the
+// data-path write, the `.`-qualified method write, the durable helper,
+// the suppressed call, and the test module must all stay clean.
+pub fn persist(cache_path: &str, data_path: &str) -> std::io::Result<()> {
+    std::fs::write(cache_path, b"state")?;
+    std::fs::write("evidence.journal", b"rec")?;
+    let file = std::fs::File::create(checkpoint_path())?;
+    std::fs::write(data_path, b"out")?;
+    file.write(b"x")?;
+    persist_atomic(std::path::Path::new(cache_path), b"state")?;
+    // lint:allow(non-atomic-persist) — scratch snapshot, rebuilt every run
+    std::fs::write(snapshot_path(), b"tmp")?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_write_caches_directly() {
+        std::fs::write("cache.ck", b"wreck").unwrap();
+    }
+}

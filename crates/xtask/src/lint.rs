@@ -145,6 +145,13 @@ pub const RULES: &[RuleInfo] = &[
         scope: &["core", "logstore"],
     },
     RuleInfo {
+        name: "non-atomic-persist",
+        severity: Severity::Warn,
+        summary: "direct fs::write/File::create to persistent-state paths (cache, journal, \
+                  checkpoint, ledger, ...) outside the durable writer; use persist_atomic",
+        scope: ALL_CRATES,
+    },
+    RuleInfo {
         name: "bare-allow",
         severity: Severity::Deny,
         summary: "lint:allow(..) without a justification after the closing paren; \
@@ -280,6 +287,7 @@ fn lint_tokens(rel: &str, crate_name: &str, lexed: &Lexed) -> Vec<Diagnostic> {
             "silent-drop" => silent_drop(tokens, &mask),
             "raw-thread-spawn" => raw_thread_spawn(tokens, &mask),
             "hot-sort" => hot_sort(rel, crate_name, tokens, &mask),
+            "non-atomic-persist" => non_atomic_persist(rel, tokens, &mask),
             "bare-allow" => bare_allow(lexed),
             _ => Vec::new(),
         };
@@ -803,6 +811,76 @@ fn hot_sort(rel: &str, crate_name: &str, tokens: &[Token], mask: &[bool]) -> Vec
                      (dists_to_*_sorted) or a sorted-run merge, or justify with lint:allow"
                 ),
             ));
+        }
+    }
+    out
+}
+
+/// Name parts that mark a path as persistent pipeline state — the files
+/// the crash-recovery guarantee covers.
+const PERSIST_NAME_PARTS: &[&str] = &[
+    "cache",
+    "journal",
+    "checkpoint",
+    "quarantine",
+    "ledger",
+    "snapshot",
+    "baseline",
+];
+
+fn persist_named(ident: &str) -> bool {
+    ident
+        .split('_')
+        .any(|part| PERSIST_NAME_PARTS.contains(&part.to_ascii_lowercase().as_str()))
+}
+
+/// Direct `fs::write` / `File::create` aimed at a persistent-state path.
+/// A torn write there is exactly the corruption the durable store exists
+/// to rule out: such paths must go through `logdep::durable` (its
+/// `persist_atomic` helper, or the checkpoint/journal writers), which
+/// write-to-temp + rename and checksum everything. The durable writer
+/// itself is the one sanctioned home for the raw calls.
+fn non_atomic_persist(rel: &str, tokens: &[Token], mask: &[bool]) -> Vec<(u32, String)> {
+    if rel.ends_with("crates/core/src/durable.rs") {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for i in 3..tokens.len() {
+        if mask[i] || tokens[i].kind != TokKind::Ident {
+            continue;
+        }
+        // `fs :: write (` / `File :: create (` — `::` lexes as two `:`
+        // puncts. Only the `::`-qualified std forms match; method calls
+        // like `w.write(..)` are `.`-qualified and never do.
+        let qualified = |head: &str| {
+            tokens[i - 1].is_punct(':')
+                && tokens[i - 2].is_punct(':')
+                && tokens[i - 3].is_ident(head)
+        };
+        let call = tokens.get(i + 1).is_some_and(|t| t.is_punct('('));
+        let hit = call
+            && ((tokens[i].is_ident("write") && qualified("fs"))
+                || (tokens[i].is_ident("create") && qualified("File")));
+        if !hit {
+            continue;
+        }
+        if let Some(close) = matching(tokens, i + 1, '(', ')') {
+            let persisty = tokens[i + 2..close].iter().any(|t| match t.kind {
+                TokKind::Ident => persist_named(&t.text),
+                TokKind::Str => PERSIST_NAME_PARTS
+                    .iter()
+                    .any(|part| t.text.to_ascii_lowercase().contains(part)),
+                _ => false,
+            });
+            if persisty {
+                out.push((
+                    tokens[i].line,
+                    "non-atomic write to persistent state; route it through \
+                     logdep::durable::persist_atomic (or the durable store) so a crash \
+                     cannot tear it"
+                        .to_string(),
+                ));
+            }
         }
     }
     out

@@ -518,6 +518,36 @@ mod fixture_tests {
     }
 
     #[test]
+    fn catches_non_atomic_persistent_writes() {
+        let diags = lint_source(
+            "crates/cli/src/fixture.rs",
+            &fixture("non_atomic_persist.rs"),
+        );
+        let hits: Vec<_> = diags
+            .iter()
+            .filter(|d| d.rule == "non-atomic-persist")
+            .collect();
+        // Seeded: a cache-named path, a `.journal` string literal, and a
+        // File::create of a checkpoint path; the data-path write, the
+        // method-call write, the durable helper, the suppressed call,
+        // and the test module must all stay clean.
+        let lines: Vec<u32> = hits.iter().map(|d| d.line).collect();
+        assert_eq!(lines, vec![6, 7, 8], "diags: {diags:?}");
+        assert!(hits
+            .iter()
+            .all(|d| d.severity == Severity::Warn && d.message.contains("persist_atomic")));
+        // The durable writer itself is the sanctioned home for raw writes.
+        let diags = lint_source(
+            "crates/core/src/durable.rs",
+            &fixture("non_atomic_persist.rs"),
+        );
+        assert!(
+            diags.iter().all(|d| d.rule != "non-atomic-persist"),
+            "diags: {diags:?}"
+        );
+    }
+
+    #[test]
     fn suppressions_silence_seeded_violations() {
         let diags = lint_source("crates/stats/src/fixture.rs", &fixture("suppressed.rs"));
         assert!(
