@@ -314,6 +314,45 @@ fn main() {
         println!("speedup gate skipped (smoke mode): {speedup:.2}x observed");
     }
 
+    // Smoke-only overhead gate: replaying the final (fully warm) window
+    // with a recorder installed must cost within 5% of the bare replay,
+    // plus a small absolute allowance for timer noise on a path this
+    // short. Min-of-K on an interleaved schedule so a scheduler hiccup
+    // cannot fail the gate on one side only.
+    if smoke {
+        let w = TimeRange::new(
+            Millis::from_days(n_advances),
+            Millis::from_days(n_advances + window_days),
+        );
+        let ms = |t: Instant| t.elapsed().as_secs_f64() * 1_000.0;
+        let mut bare = f64::INFINITY;
+        let mut traced = f64::INFINITY;
+        for _ in 0..7 {
+            let t = Instant::now();
+            run_window_cached(&wb.out.store, w, &wb.service_ids, &pcfg, &mut rolling)
+                .expect("bare warm window");
+            bare = bare.min(ms(t));
+
+            logdep::obs::set_recorder(logdep::obs::Recorder::new());
+            let t = Instant::now();
+            run_window_cached(&wb.out.store, w, &wb.service_ids, &pcfg, &mut rolling)
+                .expect("traced warm window");
+            let elapsed = ms(t);
+            let rec = logdep::obs::take_recorder().expect("recorder still installed");
+            assert!(rec.sink.len() > 0, "traced warm window emitted no events");
+            traced = traced.min(elapsed);
+        }
+        let limit = bare * 1.05 + 1.0;
+        assert!(
+            traced <= limit,
+            "instrumentation overhead gate: traced warm window took {traced:.2} ms, \
+             limit {limit:.2} ms (bare {bare:.2} ms + 5% + 1 ms)"
+        );
+        println!(
+            "instrumentation gate passed: warm window {bare:.2} ms bare, {traced:.2} ms traced"
+        );
+    }
+
     let report = Report {
         seed,
         scale,

@@ -40,7 +40,8 @@ commands:
             --threads N]
   daily     --logs LOGS.tsv [--directory DIR.xml --window-days N --start-day N
             --advance-days N --steps N --cache CACHE.ck --resume --minlogs N
-            --threads N]
+            --threads N --trace TRACE.jsonl --metrics --format text|json
+            --wall-clock]
   cache     verify --cache CACHE.ck | repair --cache CACHE.ck
   sessions  --logs LOGS.tsv
   templates --logs LOGS.tsv --source APP [--support N]
@@ -61,7 +62,15 @@ With --cache the daily advance is crash-safe: every completed step is
 journaled, the checkpoint is replaced atomically, and --resume picks a
 killed run up from its last completed step. `cache verify` checks every
 checksum read-only (exit 1 on corruption); `cache repair` quarantines
-damage and rewrites a clean checkpoint.";
+damage and rewrites a clean checkpoint.
+
+Observability: `daily --trace T.jsonl` writes the structured run events
+as JSON lines with logical sequence numbers — byte-identical across
+runs and thread widths. `--metrics` prints a run report (per-detector
+counts and timings, cache hit ratios, degraded-mode flags) as text or,
+with `--format json`, as one JSON object. `--wall-clock` additionally
+stamps every trace event with wall-clock microseconds, deliberately
+giving up the trace's reproducibility.";
 
 type CmdResult = Result<(), Box<dyn Error>>;
 
@@ -269,6 +278,17 @@ fn write_events(out: &mut dyn Write, path: &str, events: &[RecoveryEvent]) -> Cm
     Ok(())
 }
 
+/// Wall-clock microseconds since the Unix epoch — the clock injected
+/// into the event sink under `--wall-clock`, and the only wall-clock
+/// read anywhere in the observability path. It lives in the CLI, not
+/// in `logdep-obs`, so the library layer stays provably clock-free.
+fn wall_clock_us() -> u64 {
+    use std::time::{SystemTime, UNIX_EPOCH};
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map_or(0, |d| u64::try_from(d.as_micros()).unwrap_or(u64::MAX))
+}
+
 /// `logdep daily` — the "around the clock" operation of §1.2: mine a
 /// sliding window, advance it, and let the persistent evidence cache
 /// skip everything the slide left unchanged. With `--cache FILE` the
@@ -278,7 +298,50 @@ fn write_events(out: &mut dyn Write, path: &str, events: &[RecoveryEvent]) -> Cm
 /// start instead of failing the run, and `--resume` continues a killed
 /// run from its last completed step. Without `--cache` the advance
 /// steps still share the in-memory cache.
+///
+/// `--trace PATH` and `--metrics` install a [`logdep::obs::Recorder`]
+/// around the run: the trace is written as JSON lines after the run
+/// completes, and the metrics summary is printed as text or JSON.
 pub fn daily(args: &Args, out: &mut dyn Write) -> CmdResult {
+    let trace_path = args.optional("trace").map(str::to_owned);
+    let metrics: bool = args.parsed_or("metrics", false)?;
+    let wall_clock: bool = args.parsed_or("wall-clock", false)?;
+    let format = args.optional("format").unwrap_or("text");
+    if !matches!(format, "text" | "json") {
+        return Err(format!("flag --format: expected text or json, got {format:?}").into());
+    }
+    if !(trace_path.is_some() || metrics) {
+        return daily_inner(args, out);
+    }
+
+    let recorder = if wall_clock {
+        logdep::obs::Recorder::with_clock(wall_clock_us)
+    } else {
+        logdep::obs::Recorder::new()
+    };
+    logdep::obs::set_recorder(recorder);
+    let result = daily_inner(args, out);
+    // Always drain the thread-local, even on error, so an aborted run
+    // can never leak events into a later in-process invocation.
+    let recorder = logdep::obs::take_recorder().unwrap_or_default();
+    if result.is_ok() {
+        if let Some(path) = &trace_path {
+            std::fs::write(path, recorder.sink.render_jsonl())
+                .map_err(|e| format!("write {path:?}: {e}"))?;
+            writeln!(out, "wrote trace {path} ({} events)", recorder.sink.len())?;
+        }
+        if metrics {
+            let report = recorder.report();
+            match format {
+                "json" => writeln!(out, "{}", report.render_json())?,
+                _ => write!(out, "{}", report.render_text())?,
+            }
+        }
+    }
+    result
+}
+
+fn daily_inner(args: &Args, out: &mut dyn Write) -> CmdResult {
     let store = load_logs(args.required("logs")?)?;
     let window_days: i64 = args.parsed_or("window-days", 7)?;
     let start_day: i64 = args.parsed_or("start-day", 0)?;

@@ -582,3 +582,135 @@ fn daily_resume_skips_completed_steps() {
     assert_eq!(code, 1, "{out}");
     assert!(out.contains("--cache"), "{out}");
 }
+
+#[test]
+fn daily_trace_is_byte_identical_across_thread_widths() {
+    let dir = TempDir::new("trace-threads");
+    let logs = dir.path("logs.tsv");
+    let directory = dir.path("dir.xml");
+    let (code, out) = run(&[
+        "simulate",
+        "--out",
+        &logs,
+        "--directory",
+        &directory,
+        "--days",
+        "2",
+        "--seed",
+        "5",
+        "--scale",
+        "0.15",
+    ]);
+    assert_eq!(code, 0, "simulate failed: {out}");
+
+    // Each run gets a fresh cache file so every trace sees the same
+    // cold-start hit/miss pattern.
+    let traced = |tag: &str, threads: &str| {
+        let cache = dir.path(&format!("cache-{tag}.ck"));
+        let trace = dir.path(&format!("trace-{tag}.jsonl"));
+        let (code, out) = run(&[
+            "daily",
+            "--logs",
+            &logs,
+            "--directory",
+            &directory,
+            "--window-days",
+            "1",
+            "--steps",
+            "2",
+            "--cache",
+            &cache,
+            "--threads",
+            threads,
+            "--trace",
+            &trace,
+        ]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("wrote trace"), "{out}");
+        std::fs::read(&trace).expect("trace written")
+    };
+    let serial = traced("serial", "1");
+    let wide = traced("wide", "4");
+    assert_eq!(serial, wide, "trace must not depend on --threads");
+    // And across two consecutive runs at the same width.
+    let again = traced("again", "1");
+    assert_eq!(serial, again, "trace must be stable across runs");
+
+    // The trace is deterministic: logical seqnos, no wall-clock field.
+    let text = String::from_utf8(serial).expect("utf8 trace");
+    assert!(text.lines().count() > 4, "{text}");
+    assert!(text.starts_with("{\"seq\":0,"), "{text}");
+    assert!(!text.contains("wall_us"), "{text}");
+    assert!(text.contains("\"name\":\"daily\""), "{text}");
+    assert!(text.contains("\"name\":\"daily.step\""), "{text}");
+    assert!(text.contains("\"name\":\"window\""), "{text}");
+    // The daily path mines through the cached window functions, so the
+    // only detector-health span is the durable store's own.
+    assert!(text.contains("\"name\":\"detector.store\""), "{text}");
+}
+
+#[test]
+fn daily_metrics_summarize_the_run() {
+    let dir = TempDir::new("metrics");
+    let (logs, directory) = simulated(&dir);
+    let cache = dir.path("cache.ck");
+    let daily = |extra: &[&str]| {
+        let mut args = vec![
+            "daily",
+            "--logs",
+            &logs,
+            "--directory",
+            &directory,
+            "--window-days",
+            "1",
+            "--cache",
+            &cache,
+        ];
+        args.extend_from_slice(extra);
+        run(&args)
+    };
+
+    // Text report: detector and cache lines.
+    let (code, out) = daily(&["--metrics"]);
+    assert_eq!(code, 0, "{out}");
+    assert!(out.contains("detector store:"), "{out}");
+    assert!(out.contains("cache l1:"), "{out}");
+
+    // JSON report on the now-warm cache shows hits and zero misses.
+    let (code, out) = daily(&["--metrics", "--format", "json"]);
+    assert_eq!(code, 0, "{out}");
+    let json = out
+        .lines()
+        .find(|l| l.starts_with('{'))
+        .expect("a JSON report line");
+    assert!(json.contains("\"detectors\":"), "{json}");
+    assert!(json.contains("\"caches\":"), "{json}");
+    assert!(json.contains("\"misses\":0"), "{json}");
+
+    // An unknown format is a clean usage error.
+    let (code, out) = daily(&["--metrics", "--format", "xml"]);
+    assert_eq!(code, 1, "{out}");
+    assert!(out.contains("--format"), "{out}");
+}
+
+#[test]
+fn wall_clock_flag_stamps_the_trace() {
+    let dir = TempDir::new("wall-clock");
+    let (logs, directory) = simulated(&dir);
+    let trace = dir.path("trace.jsonl");
+    let (code, out) = run(&[
+        "daily",
+        "--logs",
+        &logs,
+        "--directory",
+        &directory,
+        "--window-days",
+        "1",
+        "--trace",
+        &trace,
+        "--wall-clock",
+    ]);
+    assert_eq!(code, 0, "{out}");
+    let text = std::fs::read_to_string(&trace).expect("trace written");
+    assert!(text.contains("\"wall_us\":"), "{text}");
+}

@@ -33,6 +33,7 @@ use crate::l2::{BigramCounts, L2Config};
 use crate::l3::L3Config;
 use logdep_logstore::time::TimeRange;
 use logdep_logstore::{LogStore, SourceId};
+use logdep_obs::{record, Field};
 use logdep_par::{par_map, ParConfig};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -329,7 +330,20 @@ pub fn run_l1_cached(
 ) -> crate::Result<L1Result> {
     cfg.validate()?;
     let slots = range.split(cfg.slot_ms);
-    run_l1_slots_cached(store, &slots, sources, cfg, par, cache)
+    record(|r| {
+        r.span_begin(
+            "window.l1",
+            &[
+                ("start_ms", Field::from(range.start.0)),
+                ("end_ms", Field::from(range.end.0)),
+            ],
+        );
+    });
+    let result = run_l1_slots_cached(store, &slots, sources, cfg, par, cache);
+    record(|r| {
+        r.span_end("window.l1", &[("slots", Field::from(slots.len()))]);
+    });
+    result
 }
 
 /// Technique L1 over an explicit slot list with slot-evidence
@@ -347,6 +361,9 @@ pub fn run_l1_slots_cached(
     cache: &mut EvidenceCache,
 ) -> crate::Result<L1Result> {
     cfg.validate()?;
+    record(|r| {
+        r.span_begin("l1.slots", &[("slots", Field::from(slots.len()))]);
+    });
     let fp = l1_fingerprint(cfg, sources);
 
     let mut per_slot: Vec<Option<Vec<(usize, usize, bool)>>> = Vec::with_capacity(slots.len());
@@ -371,6 +388,11 @@ pub fn run_l1_slots_cached(
         }
     }
 
+    // The probe loop above ran on the caller thread, so the hit/miss
+    // split — and therefore the trace — is identical at every width;
+    // the pool below only computes, it never records.
+    let hits = slots.len() as u64 - misses.len() as u64;
+    let missed = misses.len() as u64;
     let computed: Vec<Vec<(usize, usize, bool)>> = par_map(par, &misses, |&(_, _, token, slot)| {
         slot_evidence(store, token, slot, sources, cfg)
     });
@@ -378,6 +400,14 @@ pub fn run_l1_slots_cached(
         cache.l1.insert(key, encode_evidence(&evidence));
         per_slot[idx] = Some(evidence);
     }
+    record(|r| {
+        r.counter_add("cache.l1.hits", hits);
+        r.counter_add("cache.l1.misses", missed);
+        r.span_end(
+            "l1.slots",
+            &[("hits", Field::from(hits)), ("misses", Field::from(missed))],
+        );
+    });
 
     let per_slot: Vec<Vec<(usize, usize, bool)>> = per_slot
         .into_iter()

@@ -37,11 +37,12 @@ use crate::cache::{
     l1_fingerprint, l2_fingerprint, l3_fingerprint, EvidenceCache, EvidenceKey, Fnv, L3DayCounts,
 };
 use crate::error::MineError;
-use crate::health::{DetectorHealth, DetectorKind, PipelineConfig};
+use crate::health::{record_detector_health, DetectorHealth, DetectorKind, PipelineConfig};
 use crate::l2::BigramCounts;
 use crate::window::{run_window_cached, WindowOutcome};
 use logdep_logstore::time::{TimeRange, MS_PER_DAY};
 use logdep_logstore::{LogStore, Millis};
+use logdep_obs::{record, Field};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 use std::io::Write as _;
@@ -1283,24 +1284,81 @@ pub fn run_daily_durable(
     on_step: &mut dyn FnMut(u64, &WindowOutcome),
 ) -> Result<DailyReport, DurableError> {
     plan.validate()?;
+    record(|r| {
+        r.span_begin(
+            "daily",
+            &[
+                ("steps", Field::from(plan.steps)),
+                ("start_day", Field::from(plan.start_day)),
+                ("window_days", Field::from(plan.window_days)),
+                ("advance_days", Field::from(plan.advance_days)),
+                ("resume", Field::from(resume)),
+            ],
+        );
+    });
     let fp = plan_signature(logs, service_ids, cfg, plan);
     let mut store = DurableStore::open(cache_path, fp, policy)?;
     if !resume {
         store.discard_progress(policy)?;
     }
     store.append_ledger(policy)?;
+    // Surface what opening the store observed (cold start, plan change,
+    // corruption recovery, quarantine) as point events. The free-text
+    // detail can carry filesystem paths, so only the stable code and
+    // the corruption flag enter the deterministic trace.
+    let events_seen = store.events().len();
+    record(|r| {
+        for e in store.events() {
+            r.point(
+                "durable.recovery",
+                &[
+                    ("code", Field::from(e.code.as_str())),
+                    ("corruption", Field::from(e.corruption)),
+                ],
+            );
+        }
+    });
     let loaded_entries = store.cache().len();
     let resumed_from = store.completed();
+    if resume {
+        record(|r| {
+            r.point(
+                "durable.resume",
+                &[("resumed_from", Field::from(resumed_from))],
+            );
+        });
+    }
     let mut steps_run = 0u64;
     let mut final_outcome: Option<WindowOutcome> = None;
     let first = store.completed().saturating_add(1);
     for step in first..=plan.steps {
         let window = plan.window(step);
+        record(|r| {
+            r.span_begin(
+                "daily.step",
+                &[
+                    ("step", Field::from(step)),
+                    ("start_ms", Field::from(window.start.0)),
+                    ("end_ms", Field::from(window.end.0)),
+                ],
+            );
+        });
         let before = key_snapshot(store.cache());
         let outcome = run_window_cached(logs, window, service_ids, cfg, store.cache_mut())?;
         let delta = delta_since(store.cache(), &before);
+        let delta_entries = delta.len();
         store.append_step(step, window, delta, policy)?;
         steps_run += 1;
+        record(|r| {
+            r.counter_add("durable.steps", 1);
+            r.span_end(
+                "daily.step",
+                &[
+                    ("step", Field::from(step)),
+                    ("journaled", Field::from(delta_entries)),
+                ],
+            );
+        });
         on_step(step, &outcome);
         final_outcome = Some(outcome);
     }
@@ -1317,8 +1375,39 @@ pub fn run_daily_durable(
     let checkpointed = store.dirty();
     if checkpointed {
         store.checkpoint(policy)?;
+        record(|r| {
+            r.counter_add("durable.checkpoints", 1);
+            r.point(
+                "durable.checkpoint",
+                &[("entries", Field::from(store.cache().len()))],
+            );
+        });
     }
     store.append_ledger(policy)?;
+    // Any event raised after open (none today, but the schema must not
+    // silently drop future ones) plus the store's own health row.
+    record(|r| {
+        for e in store.events().iter().skip(events_seen) {
+            r.point(
+                "durable.recovery",
+                &[
+                    ("code", Field::from(e.code.as_str())),
+                    ("corruption", Field::from(e.corruption)),
+                ],
+            );
+        }
+    });
+    record_detector_health(&store.health());
+    record(|r| {
+        r.span_end(
+            "daily",
+            &[
+                ("steps_run", Field::from(steps_run)),
+                ("resumed_from", Field::from(resumed_from)),
+                ("checkpointed", Field::from(checkpointed)),
+            ],
+        );
+    });
     Ok(DailyReport {
         resumed_from,
         steps_run,

@@ -18,6 +18,7 @@ use crate::l3::{run_l3_pool, L3Config};
 use crate::model::{AppServiceModel, PairModel};
 use logdep_logstore::time::TimeRange;
 use logdep_logstore::{LogStore, SourceId};
+use logdep_obs::{record, Field};
 use logdep_par::ParConfig;
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
@@ -34,6 +35,18 @@ pub enum DetectorKind {
     /// The durable evidence store (recovery/corruption standing of the
     /// persisted cache, reported by the crash-safe `daily` driver).
     Store,
+}
+
+impl DetectorKind {
+    /// Lowercase metric/event name segment (`detector.<slug>.…`).
+    pub fn slug(self) -> &'static str {
+        match self {
+            DetectorKind::L1 => "l1",
+            DetectorKind::L2 => "l2",
+            DetectorKind::L3 => "l3",
+            DetectorKind::Store => "store",
+        }
+    }
 }
 
 impl std::fmt::Display for DetectorKind {
@@ -247,6 +260,31 @@ fn elapsed_us(start: Instant) -> u64 {
     u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX)
 }
 
+/// Emits one detector's trace span and metrics from its health row.
+///
+/// Always called from the orchestration thread *after* the detector
+/// finished (never from pool workers), so the event stream is
+/// identical at every thread width; the wall-clock `elapsed_us` goes
+/// only into the metrics histogram, never into the trace.
+pub(crate) fn record_detector_health(h: &DetectorHealth) {
+    record(|r| {
+        let slug = h.detector.slug();
+        let name = format!("detector.{slug}");
+        r.span_begin(&name, &[("enabled", Field::from(h.enabled))]);
+        r.span_end(
+            &name,
+            &[
+                ("ok", Field::from(h.ok)),
+                ("detected", Field::from(h.detected)),
+            ],
+        );
+        r.gauge_set(&format!("detector.{slug}.enabled"), i64::from(h.enabled));
+        r.gauge_set(&format!("detector.{slug}.ok"), i64::from(h.ok));
+        r.counter_add(&format!("detector.{slug}.detected"), h.detected as u64);
+        r.observe_us(&format!("detector.{slug}.us"), h.elapsed_us);
+    });
+}
+
 /// Runs L1/L2/L3 in isolation over `range`, never failing as a whole:
 /// a detector erroring yields a [`DetectorHealth`] entry with `ok:
 /// false` while the others proceed, and the returned
@@ -271,6 +309,15 @@ pub fn run_pipeline(
     cfg: &PipelineConfig,
 ) -> PipelineOutcome {
     let par = &cfg.par;
+    record(|r| {
+        r.span_begin(
+            "pipeline",
+            &[
+                ("start_ms", Field::from(range.start.0)),
+                ("end_ms", Field::from(range.end.0)),
+            ],
+        );
+    });
     let ((h1, l1_pairs), (h2, l2_pairs), (h3, l3_deps)) = if par.is_serial() {
         (
             l1_step(store, range, cfg.l1.as_ref(), par),
@@ -293,6 +340,17 @@ pub fn run_pipeline(
             (r1, r2, r3)
         })
     };
+
+    // Detector spans are emitted here — after both branches converge,
+    // in fixed L1/L2/L3 order, from the caller thread — so the trace
+    // is byte-identical whether the steps ran serial or concurrent.
+    record_detector_health(&h1);
+    record_detector_health(&h2);
+    record_detector_health(&h3);
+    let ok_count = [&h1, &h2, &h3].iter().filter(|h| h.ok).count();
+    record(|r| {
+        r.span_end("pipeline", &[("detectors_ok", Field::from(ok_count))]);
+    });
 
     let mut out = PipelineOutcome {
         l1_pairs,

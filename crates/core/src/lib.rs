@@ -90,6 +90,7 @@ pub use window::{
 // Re-export the substrate crates under predictable names so downstream
 // users need only one dependency.
 pub use logdep_logstore as logstore;
+pub use logdep_obs as obs;
 pub use logdep_par as par;
 pub use logdep_sessions as sessions;
 pub use logdep_stats as stats;

@@ -32,6 +32,7 @@ use crate::l3::{IncrementalL3, L3Config, L3Result};
 use crate::model::AppServiceModel;
 use logdep_logstore::time::{TimeRange, MS_PER_DAY};
 use logdep_logstore::{LogStore, Millis};
+use logdep_obs::{record, Field};
 use logdep_sessions::{reconstruct_range, Session};
 use std::collections::BTreeMap;
 
@@ -63,6 +64,15 @@ pub fn run_window_cached(
     cache: &mut EvidenceCache,
 ) -> crate::Result<WindowOutcome> {
     let before = cache.stats();
+    record(|r| {
+        r.span_begin(
+            "window",
+            &[
+                ("start_ms", Field::from(window.start.0)),
+                ("end_ms", Field::from(window.end.0)),
+            ],
+        );
+    });
     let sources = store.active_sources();
     let l1 = match &cfg.l1 {
         Some(c) => Some(run_l1_cached(store, window, &sources, c, &cfg.par, cache)?),
@@ -83,12 +93,23 @@ pub fn run_window_cached(
         None => None,
     };
     cache.evict_outside(window);
+    let stats = cache.stats().since(&before);
+    record(|r| {
+        r.span_end(
+            "window",
+            &[
+                ("hits", Field::from(stats.hits())),
+                ("misses", Field::from(stats.misses())),
+                ("entries", Field::from(cache.len())),
+            ],
+        );
+    });
     Ok(WindowOutcome {
         window,
         l1,
         l2,
         l3,
-        stats: cache.stats().since(&before),
+        stats,
     })
 }
 
@@ -107,6 +128,16 @@ pub fn run_l2_windowed_cached(
     cache: &mut EvidenceCache,
 ) -> crate::Result<L2Result> {
     cfg.validate()?;
+    record(|r| {
+        r.span_begin(
+            "window.l2",
+            &[
+                ("start_ms", Field::from(window.start.0)),
+                ("end_ms", Field::from(window.end.0)),
+            ],
+        );
+    });
+    let (hits_before, misses_before) = (cache.stats.l2_hits, cache.stats.l2_misses);
     let fp = l2_fingerprint(cfg);
     let session_set = reconstruct_range(store, window, &cfg.session);
 
@@ -147,6 +178,23 @@ pub fn run_l2_windowed_cached(
     }
 
     let (detected, outcomes) = associations(&bigrams, cfg);
+    let (hits, misses) = (
+        cache.stats.l2_hits - hits_before,
+        cache.stats.l2_misses - misses_before,
+    );
+    record(|r| {
+        r.counter_add("cache.l2.hits", hits);
+        r.counter_add("cache.l2.misses", misses);
+        r.span_end(
+            "window.l2",
+            &[
+                ("buckets", Field::from(buckets.len())),
+                ("hits", Field::from(hits)),
+                ("misses", Field::from(misses)),
+                ("detected", Field::from(detected.len())),
+            ],
+        );
+    });
     Ok(L2Result {
         detected,
         outcomes,
@@ -184,12 +232,24 @@ pub fn run_l3_windowed_cached(
     cfg: &L3Config,
     cache: &mut EvidenceCache,
 ) -> crate::Result<L3Result> {
+    record(|r| {
+        r.span_begin(
+            "window.l3",
+            &[
+                ("start_ms", Field::from(window.start.0)),
+                ("end_ms", Field::from(window.end.0)),
+            ],
+        );
+    });
+    let (hits_before, misses_before) = (cache.stats.l3_hits, cache.stats.l3_misses);
     let fp = l3_fingerprint(cfg, service_ids);
     let mut citations: BTreeMap<(logdep_logstore::SourceId, usize), u64> = BTreeMap::new();
     let mut scanned = 0u64;
     let mut stopped = 0u64;
 
-    for chunk in day_chunks(window) {
+    let chunks = day_chunks(window);
+    let n_chunks = chunks.len();
+    for chunk in chunks {
         let records = store.range(chunk);
         let mut digest = Fnv::new();
         digest.push_u64(records.len() as u64);
@@ -237,6 +297,23 @@ pub fn run_l3_windowed_cached(
             detected.insert(app, svc);
         }
     }
+    let (hits, misses) = (
+        cache.stats.l3_hits - hits_before,
+        cache.stats.l3_misses - misses_before,
+    );
+    record(|r| {
+        r.counter_add("cache.l3.hits", hits);
+        r.counter_add("cache.l3.misses", misses);
+        r.span_end(
+            "window.l3",
+            &[
+                ("days", Field::from(n_chunks)),
+                ("hits", Field::from(hits)),
+                ("misses", Field::from(misses)),
+                ("detected", Field::from(detected.len())),
+            ],
+        );
+    });
     Ok(L3Result {
         detected,
         citations,

@@ -1,0 +1,136 @@
+//! Property tests of the observability invariants the golden-trace
+//! suite builds on: histogram bucket counts sum to the observation
+//! count, counters are monotone, per-worker registries merged in chunk
+//! order equal the serial registry, and begin/end events always nest
+//! and balance when emitted in well-formed order.
+
+use logdep_obs::{
+    is_recording, set_recorder, take_recorder, EventSink, Histogram, MetricsRegistry, Recorder,
+    N_BUCKETS,
+};
+use logdep_par::{par_chunks_fold, ParConfig};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn histogram_buckets_sum_to_observation_count(
+        observations in prop::collection::vec(0u64..3_000_000, 0..300),
+    ) {
+        let mut h = Histogram::new();
+        for &us in &observations {
+            h.observe(us);
+        }
+        prop_assert_eq!(h.count(), observations.len() as u64);
+        prop_assert_eq!(h.buckets().iter().sum::<u64>(), observations.len() as u64);
+        prop_assert_eq!(h.buckets().len(), N_BUCKETS);
+        prop_assert_eq!(h.sum_us(), observations.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn counters_are_monotone(
+        deltas in prop::collection::vec(0u64..10_000, 0..200),
+    ) {
+        let mut m = MetricsRegistry::new();
+        let mut previous = 0u64;
+        for &d in &deltas {
+            m.counter_add("c", d);
+            let now = m.counter("c");
+            prop_assert!(now >= previous, "counter went backwards: {} -> {}", previous, now);
+            prop_assert_eq!(now, previous + d);
+            previous = now;
+        }
+    }
+
+    #[test]
+    fn merged_worker_registries_equal_serial(
+        observations in prop::collection::vec((0u64..8, 0u64..2_000_000), 1..300),
+        threads in 1usize..9,
+    ) {
+        // The worker seam: each shard folds observations into a fresh
+        // registry; the shard registries merge left-to-right in chunk
+        // order. The result must equal one serial registry.
+        let record = |m: &mut MetricsRegistry, (k, us): &(u64, u64)| {
+            m.counter_add(&format!("worker.counter.{k}"), *us % 17);
+            m.observe_us(&format!("worker.us.{k}"), *us);
+            m.gauge_set("worker.last", *us as i64);
+        };
+        let mut serial = MetricsRegistry::new();
+        for obs in &observations {
+            record(&mut serial, obs);
+        }
+        let cfg = ParConfig::with_threads(threads).expect("threads >= 1");
+        let merged = par_chunks_fold(
+            &cfg,
+            &observations,
+            MetricsRegistry::new,
+            |mut acc, obs| {
+                record(&mut acc, obs);
+                acc
+            },
+            |mut a, b| {
+                a.merge(&b);
+                a
+            },
+        );
+        prop_assert_eq!(merged, serial);
+    }
+
+    #[test]
+    fn well_formed_spans_nest_and_balance(
+        script in prop::collection::vec((0u8..5, any::<bool>()), 0..200),
+    ) {
+        // Drive the sink with a script that is balanced by
+        // construction: `true` opens a span, `false` closes the
+        // innermost open one; leftovers are closed at the end.
+        let mut sink = EventSink::new();
+        let mut open: Vec<String> = Vec::new();
+        for &(name_id, begin) in &script {
+            let name = format!("span.{name_id}");
+            if begin {
+                sink.span_begin(&name, &[]);
+                open.push(name);
+            } else if let Some(inner) = open.pop() {
+                sink.span_end(&inner, &[]);
+            } else {
+                sink.point(&name, &[]);
+            }
+        }
+        while let Some(inner) = open.pop() {
+            sink.span_end(&inner, &[]);
+        }
+        prop_assert!(sink.check_balanced().is_ok());
+
+        // Sequence numbers are dense and ordered.
+        for (i, e) in sink.events().iter().enumerate() {
+            prop_assert_eq!(e.seq, i as u64);
+        }
+
+        // One stray end (or one span left open) must be rejected.
+        if !sink.is_empty() {
+            let mut broken = EventSink::new();
+            for e in sink.events() {
+                match e.phase {
+                    logdep_obs::Phase::Begin => broken.span_begin(&e.name, &[]),
+                    logdep_obs::Phase::End => broken.span_end(&e.name, &[]),
+                    logdep_obs::Phase::Point => broken.point(&e.name, &[]),
+                }
+            }
+            broken.span_end("span.stray", &[]);
+            prop_assert!(broken.check_balanced().is_err());
+        }
+    }
+}
+
+#[test]
+fn worker_threads_see_no_recorder() {
+    // The determinism seam: a recorder installed on the orchestration
+    // thread is invisible to spawned workers, so only the caller
+    // thread ever emits events.
+    assert!(set_recorder(Recorder::new()).is_none());
+    let saw = logdep_par::scope(|s| {
+        let t = s.spawn(is_recording);
+        t.join().expect("worker join")
+    });
+    assert!(!saw, "worker thread must not inherit the recorder");
+    assert!(take_recorder().is_some());
+}

@@ -1,0 +1,13 @@
+//! Lint fixture: the instrumented pipeline driver for the
+//! instrumentation-completeness rule. Linted as
+//! `crates/core/src/pipe.rs` alongside `instr_stages.rs` as
+//! `crates/core/src/window.rs`.
+
+/// The driver itself emits its own span pair, so only the silent stage
+/// it reaches may fire.
+pub fn run_pipeline(n: u64) -> u64 {
+    recorder::span_begin("pipeline");
+    let total = run_window_cached(n) + run_silent(n) + run_tolerated(n);
+    recorder::span_end("pipeline");
+    total
+}

@@ -1,0 +1,30 @@
+//! Lint fixture: stage entry points for the
+//! instrumentation-completeness rule, linted as
+//! `crates/core/src/window.rs`. One clean stage, one silent stage (the
+//! seeded violation), one justified escape, and a private helper that
+//! is exempt by design.
+
+/// Clean: emits a begin/end pair around its work.
+pub fn run_window_cached(n: u64) -> u64 {
+    recorder::span_begin("window");
+    let out = inner_sum(n);
+    recorder::span_end("window");
+    out
+}
+
+/// Seeded violation: a reachable stage that never emits.
+pub fn run_silent(n: u64) -> u64 {
+    inner_sum(n)
+}
+
+/// Justified escape: suppressed with a reason.
+// lint:allow(instrumentation-completeness) — compatibility shim, retired next release
+pub fn run_tolerated(n: u64) -> u64 {
+    inner_sum(n)
+}
+
+/// Private helpers are exempt: they may run on worker threads, where
+/// emission is forbidden.
+fn inner_sum(n: u64) -> u64 {
+    (0..n).sum()
+}

@@ -56,6 +56,7 @@ const LIB_CRATES: &[&str] = &[
     "simulator",
     "faults",
     "par",
+    "obs",
 ];
 
 /// Every scoped crate — the bare-allow hygiene rule has no exemptions.
@@ -68,6 +69,7 @@ const ALL_CRATES: &[&str] = &[
     "simulator",
     "faults",
     "par",
+    "obs",
     "cli",
     "bench",
 ];
@@ -87,6 +89,7 @@ const POOLED_CRATES: &[&str] = &[
     "sessions",
     "simulator",
     "faults",
+    "obs",
     "cli",
     "bench",
 ];
@@ -176,6 +179,13 @@ pub const RULES: &[RuleInfo] = &[
         name: "panic-reach",
         severity: Severity::Deny,
         summary: "pub library API that transitively calls into an unsuppressed panic site",
+        scope: WORKSPACE,
+    },
+    RuleInfo {
+        name: "instrumentation-completeness",
+        severity: Severity::Deny,
+        summary: "pipeline entry point reachable from the drivers that never emits a \
+                  begin/end trace event pair; the run report would silently miss the stage",
         scope: WORKSPACE,
     },
 ];

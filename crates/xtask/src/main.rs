@@ -660,6 +660,50 @@ mod fixture_tests {
     }
 
     #[test]
+    fn instrumentation_gaps_are_denied_and_suppressible() {
+        let diags = workspace(&[
+            ("crates/core/src/pipe.rs", "instr_pipe.rs"),
+            ("crates/core/src/window.rs", "instr_stages.rs"),
+        ]);
+        let instr: Vec<_> = diags
+            .iter()
+            .filter(|d| d.rule == "instrumentation-completeness")
+            .collect();
+        // Only run_silent: the driver and run_window_cached emit their
+        // own pairs, run_tolerated is justified, inner_sum is private.
+        assert_eq!(instr.len(), 1, "diags: {diags:?}");
+        let d = instr[0];
+        assert_eq!(d.severity, Severity::Deny);
+        assert_eq!(d.file, "crates/core/src/window.rs");
+        assert!(d.message.contains("run_silent"), "msg: {}", d.message);
+        assert!(
+            d.message.contains("span_begin") && d.message.contains("span_end"),
+            "msg: {}",
+            d.message
+        );
+        assert!(
+            d.chain.first().is_some_and(|c| c.contains("run_pipeline"))
+                && d.chain.last().is_some_and(|c| c.contains("run_silent")),
+            "chain: {:?}",
+            d.chain
+        );
+    }
+
+    #[test]
+    fn instrumentation_stays_quiet_without_a_driver() {
+        // The stages alone, with no run_pipeline/run_daily_durable in
+        // sight, must not fire: unreachable stages are dead code's
+        // problem, not the trace's.
+        let diags = workspace(&[("crates/core/src/window.rs", "instr_stages.rs")]);
+        assert!(
+            diags
+                .iter()
+                .all(|d| d.rule != "instrumentation-completeness"),
+            "diags: {diags:?}"
+        );
+    }
+
+    #[test]
     fn bare_allows_are_denied_but_still_suppress() {
         let diags = workspace(&[("crates/stats/src/fixture.rs", "bare_allow.rs")]);
         let bare: Vec<_> = diags.iter().filter(|d| d.rule == "bare-allow").collect();

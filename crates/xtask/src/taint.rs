@@ -22,6 +22,7 @@ const LIB_CRATES: &[&str] = &[
     "simulator",
     "faults",
     "par",
+    "obs",
 ];
 
 /// Runs all graph rules over the indexed workspace.
@@ -31,6 +32,7 @@ pub fn graph_rules(files: &[FileIndex]) -> Vec<Diagnostic> {
     out.extend(nondeterminism_taint(&graph));
     out.extend(panic_reach(&graph));
     out.extend(fingerprint_completeness(files));
+    out.extend(instrumentation_completeness(&graph));
     out
 }
 
@@ -194,6 +196,95 @@ fn chain_len(parent: &[Option<(usize, u32)>], mut cur: usize) -> usize {
         len += 1;
     }
     len
+}
+
+/// The drivers of the instrumentation-completeness pass: the batch
+/// pipeline and the durable daily runner.
+fn is_instr_root(graph: &CallGraph, id: usize) -> bool {
+    let def = graph.def(id);
+    graph.file(id).crate_name == "core"
+        && (def.name == "run_pipeline" || def.name == "run_daily_durable")
+}
+
+/// The stage modules whose pub `run_*` entry points must be traced.
+const INSTRUMENTED_MODULES: &[&str] = &[
+    "crates/core/src/window.rs",
+    "crates/core/src/cache.rs",
+    "crates/core/src/durable.rs",
+];
+
+/// Whether fn `id` is an instrumentation target: the pipeline driver
+/// itself, or a pub `run_*` stage entry point in one of the cached
+/// window / durable modules.
+fn is_instr_target(graph: &CallGraph, id: usize) -> bool {
+    let def = graph.def(id);
+    let file = graph.file(id);
+    if file.crate_name == "core" && def.name == "run_pipeline" {
+        return true;
+    }
+    def.is_pub
+        && def.name.starts_with("run_")
+        && INSTRUMENTED_MODULES.iter().any(|m| file.rel.ends_with(m))
+}
+
+/// Every pipeline entry point reachable from the drivers must emit a
+/// begin/end trace event pair — directly or through a callee — or the
+/// structured trace silently skips the stage and the RunReport lies by
+/// omission. Private helpers are exempt: they may run on worker
+/// threads, where emission is forbidden by the determinism contract.
+fn instrumentation_completeness(graph: &CallGraph) -> Vec<Diagnostic> {
+    let roots: Vec<usize> = (0..graph.fns.len())
+        .filter(|&id| is_instr_root(graph, id))
+        .collect();
+    if roots.is_empty() {
+        return Vec::new();
+    }
+    let parent = graph.reach(&roots);
+
+    let mut out = Vec::new();
+    for id in 0..graph.fns.len() {
+        if parent[id].is_none() || !is_instr_target(graph, id) {
+            continue;
+        }
+        let def = graph.def(id);
+        let file = graph.file(id);
+        if file.suppressed("instrumentation-completeness", def.line) {
+            continue;
+        }
+        // The target emits when both span calls appear in its own body
+        // or anywhere in its transitive callees.
+        let sub = graph.reach(&[id]);
+        let emits = |span_call: &str| {
+            (0..graph.fns.len())
+                .any(|t| sub[t].is_some() && graph.def(t).calls.iter().any(|c| c.name == span_call))
+        };
+        let missing: Vec<&str> = ["span_begin", "span_end"]
+            .iter()
+            .copied()
+            .filter(|m| !emits(m))
+            .collect();
+        if missing.is_empty() {
+            continue;
+        }
+        let chain = graph.chain_to(&parent, id);
+        let entry = chain.first().cloned().unwrap_or_default();
+        out.push(Diagnostic {
+            rule: "instrumentation-completeness",
+            severity: Severity::Deny,
+            file: file.rel.clone(),
+            line: def.line,
+            message: format!(
+                "pipeline entry point {} never emits {}; every stage reachable from {} \
+                 must record a begin/end event pair or the trace silently skips it; path: {}",
+                graph.display_name(id),
+                missing.join(" or "),
+                entry,
+                chain.join(" → "),
+            ),
+            chain,
+        });
+    }
+    out
 }
 
 /// Pairs every `*_fingerprint(cfg: &XConfig, ..)` fn with the struct

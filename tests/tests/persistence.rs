@@ -64,3 +64,100 @@ fn tsv_preserves_session_context() {
     assert_eq!(a.stats.n_sessions, b.stats.n_sessions);
     assert_eq!(a.stats.assigned_logs, b.stats.assigned_logs);
 }
+
+// --- durable-store edge cases, driven through the CLI in-process ---
+
+fn cli(args: &[&str]) -> (i32, String) {
+    let argv: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+    let mut out = Vec::new();
+    let code = logdep_cli::run(&argv, &mut out);
+    (code, String::from_utf8(out).expect("utf8 output"))
+}
+
+fn scratch(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("logdep-persist-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+#[test]
+fn cache_verify_accepts_an_absent_store() {
+    let dir = scratch("verify-empty");
+    // A path that was never written: nothing to verify is not damage —
+    // the operator gets a clean bill, not a false alarm.
+    let missing = dir.join("never-written.ck").to_string_lossy().into_owned();
+    let (code, out) = cli(&["cache", "verify", "--cache", &missing]);
+    assert_eq!(code, 0, "verify flagged a store that never existed: {out}");
+    assert!(out.contains("verify: clean"), "{out}");
+}
+
+#[test]
+fn resuming_a_completed_run_emits_no_step_events() {
+    let dir = scratch("resume-trace");
+    let logs = dir.join("logs.tsv").to_string_lossy().into_owned();
+    let directory = dir.join("dir.xml").to_string_lossy().into_owned();
+    let (code, out) = cli(&[
+        "simulate",
+        "--out",
+        &logs,
+        "--directory",
+        &directory,
+        "--days",
+        "2",
+        "--seed",
+        "5",
+        "--scale",
+        "0.15",
+    ]);
+    assert_eq!(code, 0, "simulate failed: {out}");
+
+    let cache = dir.join("cache.ck").to_string_lossy().into_owned();
+    let daily = |extra: &[&str]| {
+        let mut args = vec![
+            "daily",
+            "--logs",
+            &logs,
+            "--directory",
+            &directory,
+            "--window-days",
+            "1",
+            "--steps",
+            "2",
+            "--cache",
+            &cache,
+        ];
+        args.extend_from_slice(extra);
+        cli(&args)
+    };
+
+    // Run to completion, then resume the finished run under a trace.
+    let (code, out) = daily(&[]);
+    assert_eq!(code, 0, "{out}");
+    let trace_path = dir.join("resume.jsonl").to_string_lossy().into_owned();
+    let (code, out) = daily(&["--resume", "--trace", &trace_path]);
+    assert_eq!(code, 0, "{out}");
+
+    let trace = std::fs::read_to_string(&trace_path).expect("trace written");
+    // Every step was checkpointed, so a faithful trace records the
+    // resume decision and nothing being re-run: duplicate step events
+    // here would mean checkpointed days were silently recomputed.
+    assert!(
+        trace.contains("\"name\":\"durable.resume\"") && trace.contains("\"resumed_from\":2"),
+        "no resume point in the trace: {trace}"
+    );
+    assert!(
+        !trace.contains("\"name\":\"daily.step\""),
+        "a fully-resumed run re-emitted step events: {trace}"
+    );
+    // The final window is still *reported* (that part is contractual),
+    // but it must be served wholly from the checkpointed cache: a
+    // single miss would mean evidence was recomputed after resume.
+    let miss_fields = trace.matches("\"misses\":").count();
+    assert!(miss_fields > 0, "no cache accounting in the trace: {trace}");
+    assert_eq!(
+        miss_fields,
+        trace.matches("\"misses\":0").count(),
+        "the reporting window recomputed evidence: {trace}"
+    );
+}
