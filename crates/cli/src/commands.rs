@@ -6,7 +6,7 @@ use logdep::durable::{
     persist_atomic, repair_store, run_daily_durable, verify_store, DailyPlan, NoopPolicy,
     RecoveryEvent,
 };
-use logdep::evolution::app_service_churn;
+use logdep::evolution::{app_service_churn, pair_churn};
 use logdep::graph::DependencyGraph;
 use logdep::health::PipelineConfig;
 use logdep::l1::{run_l1_pool, L1Config};
@@ -20,6 +20,7 @@ use logdep_logstore::ingest::{read_store_resilient, IngestPolicy};
 use logdep_logstore::time::{TimeRange, MS_PER_DAY};
 use logdep_logstore::{LogStore, Millis};
 use logdep_par::ParConfig;
+use logdep_serve::{run_server, IndexPlan, ServeConfig, Server, SnapshotSource};
 use logdep_sessions::{reconstruct, SessionConfig};
 use logdep_sim::textgen::standard_stop_patterns;
 use logdep_sim::{simulate as run_sim, ServiceDirectory, SimConfig};
@@ -45,7 +46,11 @@ commands:
   cache     verify --cache CACHE.ck | repair --cache CACHE.ck
   sessions  --logs LOGS.tsv
   templates --logs LOGS.tsv --source APP [--support N]
-  churn     --before A.tsv --after B.tsv --directory DIR.xml
+  churn     --before A.tsv --after B.tsv [--layers l1,l2,l3]
+            [--directory DIR.xml (required with l3)]
+  serve     --logs LOGS.tsv [--addr HOST:PORT --directory DIR.xml
+            --store CACHE.ck --workers N --max-conns N
+            --request-timeout-ms MS --window-days N --steps N]
   impact    --logs LOGS.tsv --directory DIR.xml --owners OWNERS.tsv
             [--app NAME | --symptoms \"A,B,C\"]
   inject    --logs LOGS.tsv --out FAULTY.tsv [--intensity X --seed N
@@ -70,7 +75,13 @@ runs and thread widths. `--metrics` prints a run report (per-detector
 counts and timings, cache hit ratios, degraded-mode flags) as text or,
 with `--format json`, as one JSON object. `--wall-clock` additionally
 stamps every trace event with wall-clock microseconds, deliberately
-giving up the trace's reproducibility.";
+giving up the trace's reproducibility.
+
+`serve` mines the export into per-window snapshots and answers queries
+over loopback HTTP: /v1/pair, /v1/impact, /v1/diff, /v1/churn,
+/v1/model, /v1/report, /v1/metrics, /healthz. GET /admin/reload
+re-mines from disk and hot-swaps the new snapshot generation in
+without blocking in-flight requests.";
 
 type CmdResult = Result<(), Box<dyn Error>>;
 
@@ -693,17 +704,140 @@ pub fn ingest(args: &Args, out: &mut dyn Write) -> CmdResult {
 
 /// `logdep churn` — L3 on two log exports, diffed.
 pub fn churn(args: &Args, out: &mut dyn Write) -> CmdResult {
-    let ids = load_directory(args.required("directory")?)?;
-    let cfg = l3_config(args)?;
+    let layers_raw = args.optional("layers").unwrap_or("l3");
+    let mut layers: Vec<&str> = Vec::new();
+    for layer in layers_raw
+        .split(',')
+        .map(str::trim)
+        .filter(|l| !l.is_empty())
+    {
+        if !matches!(layer, "l1" | "l2" | "l3") {
+            return Err(format!("flag --layers: expected l1, l2 or l3, got {layer:?}").into());
+        }
+        if !layers.contains(&layer) {
+            layers.push(layer);
+        }
+    }
+    if layers.is_empty() {
+        return Err("flag --layers: need at least one of l1,l2,l3".into());
+    }
+    // The bare L3 invocation keeps its historical un-tagged output.
+    let tagged = layers.as_slice() != ["l3"];
     let range = full_range(args)?;
-    let mine = |path: &str| -> Result<(LogStore, AppServiceModel), Box<dyn Error>> {
-        let store = load_logs(path)?;
-        let detected = run_l3(&store, range, &ids, &cfg)?.detected;
-        Ok((store, detected))
-    };
-    let (store_a, before) = mine(args.required("before")?)?;
-    let (store_b, after) = mine(args.required("after")?)?;
+    let store_a = load_logs(args.required("before")?)?;
+    let store_b = load_logs(args.required("after")?)?;
+    let par = par_config(args)?;
 
+    for layer in &layers {
+        let tag = if tagged {
+            format!("churn[{layer}]")
+        } else {
+            "churn".to_owned()
+        };
+        match *layer {
+            "l1" => {
+                let cfg = L1Config {
+                    minlogs: args.parsed_or("minlogs", 25)?,
+                    seed: args.parsed_or("seed", 7)?,
+                    ..L1Config::default()
+                };
+                let before =
+                    run_l1_pool(&store_a, range, &store_a.active_sources(), &cfg, &par)?.detected;
+                let after =
+                    run_l1_pool(&store_b, range, &store_b.active_sources(), &cfg, &par)?.detected;
+                pair_churn_lines(out, &tag, &store_a, &store_b, &before, &after)?;
+            }
+            "l2" => {
+                let timeout: i64 = args.parsed_or("timeout", 1_000)?;
+                let cfg = L2Config {
+                    timeout_ms: (timeout > 0).then_some(timeout),
+                    ..L2Config::default()
+                };
+                let before = run_l2_pool(&store_a, range, &cfg, &par)?.detected;
+                let after = run_l2_pool(&store_b, range, &cfg, &par)?.detected;
+                pair_churn_lines(out, &tag, &store_a, &store_b, &before, &after)?;
+            }
+            _ => {
+                let ids = load_directory(args.required("directory")?)?;
+                let cfg = l3_config(args)?;
+                let before = run_l3(&store_a, range, &ids, &cfg)?.detected;
+                let after = run_l3(&store_b, range, &ids, &cfg)?.detected;
+                l3_churn_lines(out, &tag, &store_a, &store_b, &ids, &before, &after)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Diffs two pair models mined from different exports. Models are
+/// diffed by name, re-resolved into the AFTER registry (mirroring the
+/// L3 path's `app_service_churn` re-resolution), so the two exports
+/// may intern sources in different orders; pairs naming a source the
+/// AFTER export never saw are dropped from the comparison.
+fn pair_churn_lines(
+    out: &mut dyn Write,
+    tag: &str,
+    store_a: &LogStore,
+    store_b: &LogStore,
+    before: &logdep::PairModel,
+    after: &logdep::PairModel,
+) -> CmdResult {
+    let before_named: Vec<(String, String)> = before
+        .iter()
+        .map(|(a, b)| {
+            (
+                store_a.registry.source_name(a).to_owned(),
+                store_a.registry.source_name(b).to_owned(),
+            )
+        })
+        .collect();
+    let before_in_b = logdep::PairModel::from_names(
+        &store_b.registry,
+        before_named
+            .iter()
+            .filter(|(a, b)| {
+                store_b.registry.find_source(a).is_some()
+                    && store_b.registry.find_source(b).is_some()
+            })
+            .map(|(a, b)| (a.as_str(), b.as_str())),
+    )?;
+    let c = pair_churn(&before_in_b, after);
+    writeln!(
+        out,
+        "{tag}: {} appeared, {} disappeared, {} stable (stability {:.2})",
+        c.appeared.len(),
+        c.disappeared.len(),
+        c.stable.len(),
+        c.stability()
+    )?;
+    for &(a, b) in c.appeared.iter().take(20) {
+        writeln!(
+            out,
+            "  + {} <-> {}",
+            store_b.registry.source_name(a),
+            store_b.registry.source_name(b)
+        )?;
+    }
+    for &(a, b) in c.disappeared.iter().take(20) {
+        writeln!(
+            out,
+            "  - {} <-> {}",
+            store_b.registry.source_name(a),
+            store_b.registry.source_name(b)
+        )?;
+    }
+    Ok(())
+}
+
+fn l3_churn_lines(
+    out: &mut dyn Write,
+    tag: &str,
+    store_a: &LogStore,
+    store_b: &LogStore,
+    ids: &[String],
+    before: &AppServiceModel,
+    after: &AppServiceModel,
+) -> CmdResult {
     // Models are diffed by name, re-resolved into the AFTER registry,
     // so the two exports may intern sources in different orders.
     let before_named: Vec<(String, String)> = before
@@ -717,16 +851,16 @@ pub fn churn(args: &Args, out: &mut dyn Write) -> CmdResult {
         .collect();
     let before_in_b = AppServiceModel::from_names(
         &store_b.registry,
-        &ids,
+        ids,
         before_named
             .iter()
             .filter(|(app, _)| store_b.registry.find_source(app).is_some())
             .map(|(a, s)| (a.as_str(), s.as_str())),
     )?;
-    let c = app_service_churn(&before_in_b, &after);
+    let c = app_service_churn(&before_in_b, after);
     writeln!(
         out,
-        "churn: {} appeared, {} disappeared, {} stable (stability {:.2})",
+        "{tag}: {} appeared, {} disappeared, {} stable (stability {:.2})",
         c.appeared.len(),
         c.disappeared.len(),
         c.stable.len(),
@@ -748,5 +882,78 @@ pub fn churn(args: &Args, out: &mut dyn Write) -> CmdResult {
             ids[svc]
         )?;
     }
+    Ok(())
+}
+
+/// Mines an initial index and serves it over loopback HTTP until the
+/// process is killed. `--store` warms the evidence cache from a
+/// durable store written by `daily --cache`; `GET /admin/reload`
+/// re-ingests everything and hot-swaps the next generation in without
+/// blocking readers.
+pub fn serve(args: &Args, out: &mut dyn Write) -> CmdResult {
+    let addr = args.optional("addr").unwrap_or("127.0.0.1:7878");
+    let workers: usize = args.parsed_or("workers", 2)?;
+    let max_conns: usize = args.parsed_or("max-conns", 64)?;
+    let request_timeout_ms: u64 = args.parsed_or("request-timeout-ms", 2_000)?;
+    let wall_clock: bool = args.parsed_or("wall-clock", false)?;
+    if workers == 0 || max_conns == 0 || request_timeout_ms == 0 {
+        return Err("--workers, --max-conns and --request-timeout-ms must be positive".into());
+    }
+
+    let window_days: i64 = args.parsed_or("window-days", 7)?;
+    let start_day: i64 = args.parsed_or("start-day", 0)?;
+    let advance_days: i64 = args.parsed_or("advance-days", 1)?;
+    let steps: i64 = args.parsed_or("steps", 1)?;
+    if window_days <= 0 || advance_days <= 0 || steps <= 0 {
+        return Err("--window-days, --advance-days and --steps must be positive".into());
+    }
+    let ids_given = args.optional("directory").is_some();
+    let source = SnapshotSource {
+        logs: args.required("logs")?.to_owned(),
+        directory: args.optional("directory").map(str::to_owned),
+        store: args.optional("store").map(std::path::PathBuf::from),
+        plan: IndexPlan {
+            start_day,
+            window_days,
+            advance_days,
+            steps: u64::try_from(steps).unwrap_or(1),
+        },
+        cfg: PipelineConfig {
+            l1: Some(L1Config {
+                minlogs: args.parsed_or("minlogs", 25)?,
+                seed: args.parsed_or("seed", 7)?,
+                ..L1Config::default()
+            }),
+            l2: Some(L2Config::default()),
+            l3: if ids_given {
+                Some(l3_config(args)?)
+            } else {
+                None
+            },
+            par: par_config(args)?,
+        },
+    };
+
+    let index = logdep_serve::run_reload(&source, 1)?;
+    let days = index.days().count();
+    let cfg = ServeConfig {
+        addr: addr.to_owned(),
+        workers,
+        max_conns,
+        request_timeout_ms,
+        clock_us: if wall_clock {
+            Some(wall_clock_us as fn() -> u64)
+        } else {
+            None
+        },
+    };
+    let server = Server::bind(cfg, index)?;
+    writeln!(
+        out,
+        "serving {days} mined day(s), generation 1, on http://{} ({workers} workers, {max_conns} max conns)",
+        server.handle().addr()
+    )?;
+    out.flush()?;
+    run_server(server, Some(&source))?;
     Ok(())
 }

@@ -16,7 +16,8 @@
 //! logdep cache repair --cache cache.ck
 //! logdep sessions --logs logs.tsv
 //! logdep templates --logs logs.tsv --source AppName
-//! logdep churn --before a.tsv --after b.tsv --directory dir.xml
+//! logdep churn --before a.tsv --after b.tsv [--layers l1,l2,l3] [--directory dir.xml]
+//! logdep serve --logs logs.tsv --directory dir.xml --addr 127.0.0.1:7878
 //! ```
 
 #![forbid(unsafe_code)]
@@ -58,6 +59,7 @@ pub fn run(argv: &[String], out: &mut dyn Write) -> i32 {
         "sessions" => commands::sessions(&args, out),
         "templates" => commands::templates(&args, out),
         "churn" => commands::churn(&args, out),
+        "serve" => commands::serve(&args, out),
         "impact" => commands::impact(&args, out),
         "inject" => commands::inject(&args, out),
         "ingest" => commands::ingest(&args, out),

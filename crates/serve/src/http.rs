@@ -1,0 +1,386 @@
+//! A deliberately small HTTP/1.1 subset: enough to parse a GET request
+//! line + headers off a socket and render a response with a
+//! `Content-Length`, with hard caps so a hostile or broken client can
+//! never make the server allocate without bound or hang forever.
+//!
+//! No external dependency and no wall-clock read: timeouts are enforced
+//! by the socket read/write deadlines the server installs, and surface
+//! here as [`HttpError::TimedOut`].
+
+use std::collections::BTreeMap;
+use std::io::Read;
+
+/// Cap on the request head (request line + all headers). A head that
+/// grows past this is answered `431` and the connection dropped.
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// Cap on the request line alone (method + target + version).
+pub const MAX_REQUEST_LINE: usize = 8 * 1024;
+
+/// Why a request could not be read or parsed.
+#[derive(Debug, PartialEq, Eq)]
+pub enum HttpError {
+    /// Clean EOF before the first byte: the client closed an idle
+    /// keep-alive connection. Not an error on the wire.
+    Closed,
+    /// EOF in the middle of the head (truncated request).
+    Truncated,
+    /// The head exceeded [`MAX_HEAD_BYTES`] or the request line
+    /// exceeded [`MAX_REQUEST_LINE`].
+    TooLarge,
+    /// The socket read deadline expired mid-head (slowloris).
+    TimedOut,
+    /// The bytes were complete but not a parseable request.
+    Malformed(String),
+    /// Any other socket error; the connection is just dropped.
+    Io(String),
+}
+
+impl HttpError {
+    /// The status code to answer with, if answering is useful at all.
+    pub fn status(&self) -> Option<u16> {
+        match self {
+            HttpError::Closed | HttpError::Io(_) => None,
+            HttpError::Truncated | HttpError::Malformed(_) => Some(400),
+            HttpError::TooLarge => Some(431),
+            HttpError::TimedOut => Some(408),
+        }
+    }
+}
+
+/// A parsed request head.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Uppercase method token (`GET`, `POST`, ...).
+    pub method: String,
+    /// Decoded path component, without the query string.
+    pub path: String,
+    /// Decoded query parameters in key order (duplicates: last wins).
+    pub query: BTreeMap<String, String>,
+    /// Whether the connection may serve another request afterwards.
+    pub keep_alive: bool,
+}
+
+/// Reads one request head (through the blank line) from `stream`.
+///
+/// Returns the raw head bytes. Body bytes are neither read nor
+/// supported; a request advertising a body forces `Connection: close`
+/// downstream so the framing can never desynchronise.
+pub fn read_head(stream: &mut dyn Read, max_bytes: usize) -> Result<Vec<u8>, HttpError> {
+    let mut head: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 512];
+    loop {
+        if let Some(end) = find_head_end(&head) {
+            head.truncate(end);
+            return Ok(head);
+        }
+        if head.len() > max_bytes {
+            return Err(HttpError::TooLarge);
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => {
+                return if head.is_empty() {
+                    Err(HttpError::Closed)
+                } else {
+                    Err(HttpError::Truncated)
+                };
+            }
+            Ok(n) => head.extend_from_slice(chunk.get(..n).unwrap_or(&[])),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                return Err(HttpError::TimedOut);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(HttpError::Io(e.to_string())),
+        }
+    }
+}
+
+/// Byte offset just past the `\r\n\r\n` (or lenient `\n\n`) head
+/// terminator, if present.
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .map(|p| p + 4)
+        .or_else(|| buf.windows(2).position(|w| w == b"\n\n").map(|p| p + 2))
+}
+
+/// Parses a complete request head into a [`Request`].
+pub fn parse_request(head: &[u8]) -> Result<Request, HttpError> {
+    let text = std::str::from_utf8(head)
+        .map_err(|_| HttpError::Malformed("head is not valid UTF-8".into()))?;
+    let mut lines = text.split("\r\n").flat_map(|l| l.split('\n'));
+    let request_line = lines
+        .next()
+        .ok_or_else(|| HttpError::Malformed("empty head".into()))?;
+    if request_line.len() > MAX_REQUEST_LINE {
+        return Err(HttpError::TooLarge);
+    }
+    let mut parts = request_line.split_ascii_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| HttpError::Malformed("missing method".into()))?;
+    let target = parts
+        .next()
+        .ok_or_else(|| HttpError::Malformed("missing request target".into()))?;
+    let version = parts
+        .next()
+        .ok_or_else(|| HttpError::Malformed("missing HTTP version".into()))?;
+    if parts.next().is_some() {
+        return Err(HttpError::Malformed("extra tokens in request line".into()));
+    }
+    if !method.bytes().all(|b| b.is_ascii_uppercase()) || method.is_empty() {
+        return Err(HttpError::Malformed(format!("bad method {method:?}")));
+    }
+    let http11 = match version {
+        "HTTP/1.1" => true,
+        "HTTP/1.0" => false,
+        _ => return Err(HttpError::Malformed(format!("bad version {version:?}"))),
+    };
+
+    let mut connection: Option<String> = None;
+    let mut has_body = false;
+    for line in lines {
+        if line.is_empty() {
+            break;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(HttpError::Malformed(format!("bad header line {line:?}")));
+        };
+        let name = name.trim().to_ascii_lowercase();
+        let value = value.trim();
+        match name.as_str() {
+            "connection" => connection = Some(value.to_ascii_lowercase()),
+            "content-length" => {
+                has_body = value.parse::<u64>().map(|n| n > 0).unwrap_or(true);
+            }
+            "transfer-encoding" => has_body = true,
+            _ => {}
+        }
+    }
+
+    let keep_alive = !has_body
+        && match connection.as_deref() {
+            Some(c) => {
+                !c.split(',').any(|t| t.trim() == "close") && (http11 || c.contains("keep-alive"))
+            }
+            None => http11,
+        };
+
+    let (path, query_str) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    let mut query = BTreeMap::new();
+    for pair in query_str.split('&').filter(|p| !p.is_empty()) {
+        let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+        query.insert(percent_decode(k), percent_decode(v));
+    }
+
+    Ok(Request {
+        method: method.to_owned(),
+        path: percent_decode(path),
+        query,
+        keep_alive,
+    })
+}
+
+/// Decodes `%XX` escapes and `+`-as-space. Invalid escapes pass
+/// through literally rather than failing the whole request.
+pub fn percent_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out: Vec<u8> = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while let Some(&b) = bytes.get(i) {
+        match b {
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b'%' => match (hex_val(bytes.get(i + 1)), hex_val(bytes.get(i + 2))) {
+                (Some(hi), Some(lo)) => {
+                    out.push(hi * 16 + lo);
+                    i += 3;
+                }
+                _ => {
+                    out.push(b'%');
+                    i += 1;
+                }
+            },
+            other => {
+                out.push(other);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+fn hex_val(b: Option<&u8>) -> Option<u8> {
+    match b {
+        Some(&c @ b'0'..=b'9') => Some(c - b'0'),
+        Some(&c @ b'a'..=b'f') => Some(c - b'a' + 10),
+        Some(&c @ b'A'..=b'F') => Some(c - b'A' + 10),
+        _ => None,
+    }
+}
+
+/// An HTTP response ready to serialise.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Response body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A JSON response.
+    pub fn json(status: u16, body: String) -> Self {
+        Self {
+            status,
+            content_type: "application/json",
+            body: body.into_bytes(),
+        }
+    }
+
+    /// A plain-text response.
+    pub fn text(status: u16, body: &str) -> Self {
+        Self {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            body: body.as_bytes().to_vec(),
+        }
+    }
+
+    /// A JSON error body `{"error": ...}` with the given status.
+    pub fn error(status: u16, message: &str) -> Self {
+        let escaped: String = message
+            .chars()
+            .flat_map(|c| match c {
+                '"' => vec!['\\', '"'],
+                '\\' => vec!['\\', '\\'],
+                '\n' => vec!['\\', 'n'],
+                c if (c as u32) < 0x20 => vec![' '],
+                c => vec![c],
+            })
+            .collect();
+        Self::json(status, format!("{{\"error\": \"{escaped}\"}}"))
+    }
+
+    /// Serialises status line, headers and body to wire bytes.
+    pub fn to_bytes(&self, keep_alive: bool) -> Vec<u8> {
+        let mut out = format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+            self.status,
+            reason(self.status),
+            self.content_type,
+            self.body.len(),
+            if keep_alive { "keep-alive" } else { "close" },
+        )
+        .into_bytes();
+        out.extend_from_slice(&self.body);
+        out
+    }
+}
+
+/// Canonical reason phrase for the status codes this server emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Result<Request, HttpError> {
+        parse_request(s.as_bytes())
+    }
+
+    #[test]
+    fn parses_get_with_query() {
+        let req =
+            parse("GET /v1/pair?src=App%20A&dst=B+C HTTP/1.1\r\nHost: x\r\n\r\n").expect("parses");
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/v1/pair");
+        assert_eq!(req.query.get("src").map(String::as_str), Some("App A"));
+        assert_eq!(req.query.get("dst").map(String::as_str), Some("B C"));
+        assert!(req.keep_alive);
+    }
+
+    #[test]
+    fn connection_close_and_http10() {
+        let req = parse("GET / HTTP/1.1\r\nConnection: close\r\n\r\n").expect("parses");
+        assert!(!req.keep_alive);
+        let req = parse("GET / HTTP/1.0\r\n\r\n").expect("parses");
+        assert!(!req.keep_alive);
+        let req = parse("GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n").expect("parses");
+        assert!(req.keep_alive);
+    }
+
+    #[test]
+    fn body_forces_close() {
+        let req = parse("POST / HTTP/1.1\r\nContent-Length: 3\r\n\r\n").expect("parses");
+        assert!(!req.keep_alive);
+    }
+
+    #[test]
+    fn malformed_heads_are_rejected() {
+        assert!(matches!(parse("\r\n\r\n"), Err(HttpError::Malformed(_))));
+        assert!(matches!(
+            parse("GET HTTP/1.1\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse("GET / SPDY/9\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse("GET / HTTP/1.1\r\nbroken header\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn read_head_respects_caps_and_eof() {
+        let mut tiny: &[u8] = b"GET / HT";
+        assert_eq!(read_head(&mut tiny, 64), Err(HttpError::Truncated));
+        let mut empty: &[u8] = b"";
+        assert_eq!(read_head(&mut empty, 64), Err(HttpError::Closed));
+        let big = vec![b'a'; 200];
+        let mut slice: &[u8] = &big;
+        assert_eq!(read_head(&mut slice, 64), Err(HttpError::TooLarge));
+    }
+
+    #[test]
+    fn percent_decode_is_lenient() {
+        assert_eq!(percent_decode("a%2Fb"), "a/b");
+        assert_eq!(percent_decode("a%ZZb"), "a%ZZb");
+        assert_eq!(percent_decode("a%2"), "a%2");
+    }
+
+    #[test]
+    fn response_bytes_have_content_length() {
+        let r = Response::json(200, "{}".to_owned());
+        let s = String::from_utf8(r.to_bytes(true)).expect("utf8");
+        assert!(s.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(s.contains("Content-Length: 2\r\n"));
+        assert!(s.contains("Connection: keep-alive\r\n"));
+        assert!(s.ends_with("\r\n\r\n{}"));
+    }
+}

@@ -1,0 +1,30 @@
+//! Lint fixture: request handlers for the blocking-io-in-handler rule.
+//! Linted as `crates/serve/src/handlers.rs` alongside `serve_swap.rs`
+//! as `crates/serve/src/loader.rs`.
+
+/// Seeded violation: a handler reading the filesystem directly.
+pub fn handle_stale(path: &str) -> String {
+    fs::read_to_string(path).unwrap_or_default()
+}
+
+/// Seeded violation through a helper: the handler itself looks pure,
+/// but a same-crate callee opens the durable store.
+pub fn handle_rebuild(path: &str) -> usize {
+    load_evidence(path)
+}
+
+fn load_evidence(path: &str) -> usize {
+    let store = DurableStore::open_existing(path);
+    store.len()
+}
+
+/// Clean: answers from the in-memory index only.
+pub fn handle_lookup(index: &[u64], key: u64) -> bool {
+    index.iter().any(|&k| k == key)
+}
+
+/// Justified escape: suppressed with a reason.
+pub fn handle_bootstrap(path: &str) -> String {
+    // lint:allow(blocking-io-in-handler) — first-boot banner, removed once the splash page ships
+    fs::read_to_string(path).unwrap_or_default()
+}

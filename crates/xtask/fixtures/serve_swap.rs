@@ -1,0 +1,23 @@
+//! Lint fixture: the reload/swap path for the blocking-io-in-handler
+//! rule, linted as `crates/serve/src/loader.rs`. The same blocking
+//! calls the handlers are denied are legal here — this module is not
+//! reachable from any `handle_*` fn. The driver/stage pair also keeps
+//! the instrumentation-completeness rule satisfied for the serve
+//! entry points.
+
+/// The serve driver: emits its own span pair, reloads, then serves.
+pub fn run_server(path: &str) -> usize {
+    recorder::span_begin("serve");
+    let n = run_reload(path);
+    recorder::span_end("serve");
+    n
+}
+
+/// The swap path: blocking I/O is sanctioned here.
+pub fn run_reload(path: &str) -> usize {
+    recorder::span_begin("reload");
+    let bytes = fs::read(path);
+    let store = DurableStore::open_existing(path);
+    recorder::span_end("reload");
+    bytes.len() + store.len()
+}

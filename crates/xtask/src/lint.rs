@@ -57,6 +57,7 @@ const LIB_CRATES: &[&str] = &[
     "faults",
     "par",
     "obs",
+    "serve",
 ];
 
 /// Every scoped crate — the bare-allow hygiene rule has no exemptions.
@@ -70,6 +71,7 @@ const ALL_CRATES: &[&str] = &[
     "faults",
     "par",
     "obs",
+    "serve",
     "cli",
     "bench",
 ];
@@ -90,6 +92,7 @@ const POOLED_CRATES: &[&str] = &[
     "simulator",
     "faults",
     "obs",
+    "serve",
     "cli",
     "bench",
 ];
@@ -179,6 +182,13 @@ pub const RULES: &[RuleInfo] = &[
         name: "panic-reach",
         severity: Severity::Deny,
         summary: "pub library API that transitively calls into an unsuppressed panic site",
+        scope: WORKSPACE,
+    },
+    RuleInfo {
+        name: "blocking-io-in-handler",
+        severity: Severity::Deny,
+        summary: "fs::* or durable-store call reachable from a serve request handler \
+                  (handle_* fn); snapshot loads must go through the reload/swap path",
         scope: WORKSPACE,
     },
     RuleInfo {

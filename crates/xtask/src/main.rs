@@ -716,4 +716,70 @@ mod fixture_tests {
             "diags: {diags:?}"
         );
     }
+
+    #[test]
+    fn blocking_io_in_handlers_is_denied_and_suppressible() {
+        let diags = workspace(&[
+            ("crates/serve/src/handlers.rs", "serve_handlers.rs"),
+            ("crates/serve/src/loader.rs", "serve_swap.rs"),
+        ]);
+        let blocking: Vec<_> = diags
+            .iter()
+            .filter(|d| d.rule == "blocking-io-in-handler")
+            .collect();
+        // Two violations: handle_stale reads the fs directly, and
+        // handle_rebuild reaches the durable store through a helper.
+        // handle_lookup is pure, handle_bootstrap is suppressed, and
+        // the reload/swap path is legal — no handler reaches it.
+        assert_eq!(blocking.len(), 2, "diags: {diags:?}");
+        for d in &blocking {
+            assert_eq!(d.severity, Severity::Deny);
+            assert_eq!(d.file, "crates/serve/src/handlers.rs");
+        }
+        let direct = blocking
+            .iter()
+            .find(|d| d.message.contains("handle_stale"))
+            .expect("direct fs violation");
+        assert!(direct.message.contains("fs::"), "msg: {}", direct.message);
+        let chained = blocking
+            .iter()
+            .find(|d| d.message.contains("handle_rebuild"))
+            .expect("chained durable violation");
+        assert!(
+            chained.message.contains("DurableStore"),
+            "msg: {}",
+            chained.message
+        );
+        assert!(
+            chained
+                .chain
+                .first()
+                .is_some_and(|c| c.contains("handle_rebuild"))
+                && chained
+                    .chain
+                    .last()
+                    .is_some_and(|c| c.contains("load_evidence")),
+            "chain: {:?}",
+            chained.chain
+        );
+        // The loader's own fs/durable calls never fire.
+        assert!(
+            diags
+                .iter()
+                .all(|d| d.rule != "blocking-io-in-handler"
+                    || d.file != "crates/serve/src/loader.rs"),
+            "diags: {diags:?}"
+        );
+    }
+
+    #[test]
+    fn blocking_io_stays_quiet_without_handlers() {
+        // The reload/swap path alone — fs and durable calls galore, but
+        // no handle_* entry point in sight — must not fire.
+        let diags = workspace(&[("crates/serve/src/loader.rs", "serve_swap.rs")]);
+        assert!(
+            diags.iter().all(|d| d.rule != "blocking-io-in-handler"),
+            "diags: {diags:?}"
+        );
+    }
 }

@@ -23,6 +23,7 @@ const LIB_CRATES: &[&str] = &[
     "faults",
     "par",
     "obs",
+    "serve",
 ];
 
 /// Runs all graph rules over the indexed workspace.
@@ -33,6 +34,7 @@ pub fn graph_rules(files: &[FileIndex]) -> Vec<Diagnostic> {
     out.extend(panic_reach(&graph));
     out.extend(fingerprint_completeness(files));
     out.extend(instrumentation_completeness(&graph));
+    out.extend(blocking_io_in_handler(&graph));
     out
 }
 
@@ -199,11 +201,12 @@ fn chain_len(parent: &[Option<(usize, u32)>], mut cur: usize) -> usize {
 }
 
 /// The drivers of the instrumentation-completeness pass: the batch
-/// pipeline and the durable daily runner.
+/// pipeline, the durable daily runner, and the query server.
 fn is_instr_root(graph: &CallGraph, id: usize) -> bool {
     let def = graph.def(id);
-    graph.file(id).crate_name == "core"
-        && (def.name == "run_pipeline" || def.name == "run_daily_durable")
+    let file = graph.file(id);
+    (file.crate_name == "core" && (def.name == "run_pipeline" || def.name == "run_daily_durable"))
+        || (file.crate_name == "serve" && def.name == "run_server")
 }
 
 /// The stage modules whose pub `run_*` entry points must be traced.
@@ -211,6 +214,8 @@ const INSTRUMENTED_MODULES: &[&str] = &[
     "crates/core/src/window.rs",
     "crates/core/src/cache.rs",
     "crates/core/src/durable.rs",
+    "crates/serve/src/loader.rs",
+    "crates/serve/src/server.rs",
 ];
 
 /// Whether fn `id` is an instrumentation target: the pipeline driver
@@ -283,6 +288,102 @@ fn instrumentation_completeness(graph: &CallGraph) -> Vec<Diagnostic> {
             ),
             chain,
         });
+    }
+    out
+}
+
+/// The serve request handlers (`handle_*` fns in the serve crate) must
+/// never perform blocking I/O: no `fs::*`/`File::*` call, and no call
+/// into the durable-store layer. Snapshot loads belong exclusively to
+/// the reload/swap path, or a slow disk rides a request thread and the
+/// bounded pool stalls.
+///
+/// Reachability is restricted to edges *within* the handler's crate:
+/// method-call resolution over-approximates by name across the whole
+/// workspace, and following those edges out of the serve crate would
+/// flag every `.len()` that happens to share a name with a durable
+/// method. The blocking facts themselves are explicit: an `fs`/`File`
+/// qualified call, or a non-method call that resolves into
+/// `crates/core/src/durable.rs` (or is `durable::`/`DurableStore::`
+/// qualified).
+fn blocking_io_in_handler(graph: &CallGraph) -> Vec<Diagnostic> {
+    let entries: Vec<usize> = (0..graph.fns.len())
+        .filter(|&id| {
+            graph.file(id).crate_name == "serve" && graph.def(id).name.starts_with("handle_")
+        })
+        .collect();
+    if entries.is_empty() {
+        return Vec::new();
+    }
+
+    // Same-crate BFS.
+    let n = graph.fns.len();
+    let mut parent: Vec<Option<(usize, u32)>> = vec![None; n];
+    let mut queue = std::collections::VecDeque::new();
+    for &e in &entries {
+        if parent[e].is_none() {
+            parent[e] = Some((e, 0));
+            queue.push_back(e);
+        }
+    }
+    while let Some(u) = queue.pop_front() {
+        for &(v, line) in &graph.edges[u] {
+            if parent[v].is_none() && graph.file(v).crate_name == graph.file(u).crate_name {
+                parent[v] = Some((u, line));
+                queue.push_back(v);
+            }
+        }
+    }
+
+    const FS_QUALIFIERS: &[&str] = &["fs", "File", "OpenOptions", "DurableStore", "durable"];
+    let mut out = Vec::new();
+    for id in 0..n {
+        if parent[id].is_none() {
+            continue;
+        }
+        let def = graph.def(id);
+        let file = graph.file(id);
+        for call in &def.calls {
+            let fs_qualified = call
+                .qualifier
+                .as_deref()
+                .is_some_and(|q| FS_QUALIFIERS.contains(&q));
+            // A non-method call resolving into the durable module; the
+            // resolved edges are consulted so bare calls count too. The
+            // callee name must match — several calls can share a line,
+            // and a method edge there must not indict its neighbours.
+            let into_durable = !call.is_method
+                && graph.edges[id].iter().any(|&(v, line)| {
+                    line == call.line
+                        && graph.def(v).name == call.name
+                        && graph.file(v).rel.ends_with("crates/core/src/durable.rs")
+                });
+            if !(fs_qualified || into_durable) {
+                continue;
+            }
+            if file.suppressed("blocking-io-in-handler", call.line) {
+                continue;
+            }
+            let chain = graph.chain_to(&parent, id);
+            let entry = chain.first().cloned().unwrap_or_default();
+            let callee = match &call.qualifier {
+                Some(q) => format!("{}::{}", q, call.name),
+                None => call.name.clone(),
+            };
+            out.push(Diagnostic {
+                rule: "blocking-io-in-handler",
+                severity: Severity::Deny,
+                file: file.rel.clone(),
+                line: call.line,
+                message: format!(
+                    "blocking call {callee} is reachable from request handler {entry}; \
+                     snapshot loads must go through the reload/swap path, never a \
+                     request thread; path: {}",
+                    chain.join(" → "),
+                ),
+                chain,
+            });
+        }
     }
     out
 }
